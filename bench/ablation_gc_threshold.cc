@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Ablation: the GC victim-quality threshold (`gcMinInvalidFraction`).
+ *
+ * A disk cache may evict what a storage log must copy. Low
+ * thresholds behave like an FTL (always relocate: high copy traffic,
+ * maximal occupancy); high thresholds evict cold-valid blocks
+ * through flushes instead. This sweep exposes the trade-off the
+ * default (0.25) balances.
+ */
+
+#include <cstdio>
+
+#include "core/flash_cache.hh"
+#include "workload/macro.hh"
+
+using namespace flashcache;
+
+namespace {
+
+class NullStore : public BackingStore
+{
+  public:
+    Seconds read(Lba) override { return milliseconds(4.2); }
+    Seconds write(Lba) override { return milliseconds(4.2); }
+};
+
+void
+run(double threshold)
+{
+    CellLifetimeModel lifetime;
+    const FlashGeometry geom = FlashGeometry::forMlcCapacity(mib(32));
+    FlashDevice device(geom, FlashTiming(), lifetime, 9);
+    FlashMemoryController ctrl(device);
+    NullStore store;
+
+    FlashCacheConfig cfg;
+    cfg.gcMinInvalidFraction = threshold;
+    FlashCache cache(ctrl, store, cfg);
+
+    auto gen = makeMacro(macroConfig("dbt2", 0.125));
+    Rng rng(31);
+    for (int i = 0; i < 600000; ++i) {
+        const TraceRecord r = gen->next(rng);
+        if (r.isWrite)
+            cache.write(r.lba);
+        else
+            cache.read(r.lba);
+    }
+
+    const FlashCacheStats& st = cache.stats();
+    std::printf("%10.2f %12.1f%% %14llu %14llu %12.1f%%\n", threshold,
+                100.0 * st.fgst.reads.missRate(),
+                static_cast<unsigned long long>(st.gcPageCopies),
+                static_cast<unsigned long long>(st.evictionFlushes),
+                100.0 * cache.occupancy());
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Ablation: GC victim threshold (dbt2 model, 32 MB "
+                "flash) ===\n\n");
+    std::printf("%10s %13s %14s %14s %13s\n", "threshold", "read miss",
+                "GC copies", "evict flushes", "occupancy");
+    for (const double t : {0.0, 0.10, 0.25, 0.50, 0.90})
+        run(t);
+    std::printf("\nThreshold 0 = storage-log behaviour (copy "
+                "everything, never evict); 0.9 = evict-mostly.\nThe "
+                "default 0.25 keeps copies bounded without giving up "
+                "occupancy.\n");
+    return 0;
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Ablation: wear-level-aware replacement (section 3.6).
+ *
+ * Compares erase-count spread and device lifetime with wear-leveling
+ * disabled, and across migration thresholds. The policy erases all
+ * blocks more uniformly at the cost of occasional content
+ * migrations, which is exactly what buys lifetime on skewed
+ * workloads.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/flash_cache.hh"
+#include "workload/synthetic.hh"
+
+using namespace flashcache;
+
+namespace {
+
+class NullStore : public BackingStore
+{
+  public:
+    Seconds read(Lba) override { return milliseconds(4.2); }
+    Seconds write(Lba) override { return milliseconds(4.2); }
+};
+
+struct Result
+{
+    double maxOverMeanErase;
+    std::uint64_t migrations;
+    std::uint64_t accessesToFirstRetire;
+};
+
+Result
+run(bool wear_leveling, double threshold)
+{
+    WearParams wear;
+    wear.nominalCycles = 120;
+    wear.sigmaDecades = 0.8;
+    CellLifetimeModel lifetime(wear);
+
+    FlashGeometry geom;
+    geom.numBlocks = 32;
+    geom.framesPerBlock = 16;
+    FlashDevice device(geom, FlashTiming(), lifetime, 77);
+    FlashMemoryController ctrl(device);
+    NullStore store;
+
+    FlashCacheConfig cfg;
+    cfg.wearLeveling = wear_leveling;
+    cfg.wearThreshold = threshold;
+    cfg.hotPageMigration = false;
+    FlashCache cache(ctrl, store, cfg);
+
+    // Skewed traffic: hot overwrites plus a cold resident set.
+    Rng rng(5);
+    ZipfSampler zipf(800, 1.3);
+    Result out{};
+    std::uint64_t n = 0;
+    while (n < 3000000) {
+        const Lba l = zipf.sample(rng);
+        if (rng.bernoulli(0.5))
+            cache.write(l);
+        else
+            cache.read(l);
+        ++n;
+        if (cache.stats().retiredBlocks > 0) {
+            out.accessesToFirstRetire = n;
+            break;
+        }
+    }
+    if (out.accessesToFirstRetire == 0)
+        out.accessesToFirstRetire = n; // survived the whole run
+
+    std::uint32_t max_e = 0;
+    std::uint64_t sum_e = 0;
+    for (std::uint32_t b = 0; b < geom.numBlocks; ++b) {
+        max_e = std::max(max_e, device.blockEraseCount(b));
+        sum_e += device.blockEraseCount(b);
+    }
+    const double mean = static_cast<double>(sum_e) / geom.numBlocks;
+    out.maxOverMeanErase = mean > 0 ? max_e / mean : 0.0;
+    out.migrations = cache.stats().wearMigrations;
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Ablation: wear-level aware replacement "
+                "(zipf 1.3, 50%% writes, accelerated wear) ===\n\n");
+    std::printf("%-22s %14s %12s %22s\n", "configuration",
+                "max/mean erase", "migrations", "accesses to 1st "
+                "retire");
+
+    const Result off = run(false, 0.0);
+    std::printf("%-22s %14.2f %12llu %22llu\n", "wear-leveling OFF",
+                off.maxOverMeanErase,
+                static_cast<unsigned long long>(off.migrations),
+                static_cast<unsigned long long>(
+                    off.accessesToFirstRetire));
+
+    for (const double thr : {256.0, 64.0, 16.0}) {
+        const Result on = run(true, thr);
+        std::printf("threshold %-12.0f %14.2f %12llu %22llu\n", thr,
+                    on.maxOverMeanErase,
+                    static_cast<unsigned long long>(on.migrations),
+                    static_cast<unsigned long long>(
+                        on.accessesToFirstRetire));
+    }
+
+    std::printf("\nLower thresholds level erases more tightly (more "
+                "migrations) and postpone the first\nblock retirement "
+                "— the section 3.6 trade-off.\n");
+    return 0;
+}

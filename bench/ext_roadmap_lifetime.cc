@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Extension study: projecting the programmable controller across the
+ * ITRS roadmap (Table 1).
+ *
+ * The paper's lifetime claims are anchored at the 2007 endurance
+ * figures (SLC 1e5, MLC 1e4 W/E). Table 1 projects SLC endurance to
+ * 1e6 by 2011 while MLC stays at 1e4 — widening the very gap the
+ * density controller exploits. This bench re-anchors the wear model
+ * at each roadmap year and reports the maximum tolerable W/E cycles
+ * per ECC strength, plus the years of service at the paper's own
+ * write intensity — section 7.4 describes a workload that wears a
+ * BCH-1 flash out in six months, i.e. ~820 erases per block per day.
+ */
+
+#include <cstdio>
+
+#include "flash/flash_spec.hh"
+#include "reliability/wear_model.hh"
+
+using namespace flashcache;
+
+int
+main()
+{
+    std::printf("=== Extension: ECC-extended lifetime across the ITRS "
+                "roadmap (Table 1 anchors) ===\n\n");
+    const unsigned page_bits = (2048 + 64) * 8;
+    // Calibrated to section 7.4: BCH-1 (~1.5e5 tolerable
+    // cycles) exhausted in six months.
+    const double block_cycles_per_year = 822.0 * 365.0;
+
+    std::printf("%6s %12s %14s %14s %14s %16s\n", "year",
+                "SLC anchor", "tol. @ t=1", "tol. @ t=6",
+                "tol. @ t=12", "service @ t=12");
+    for (const ItrsRow& row : itrsRoadmap()) {
+        WearParams wp;
+        wp.nominalCycles = row.slcEnduranceCycles;
+        const CellLifetimeModel model(wp);
+        const double t1 = model.maxTolerableCycles(1, page_bits, 0.0);
+        const double t6 = model.maxTolerableCycles(6, page_bits, 0.0);
+        const double t12 = model.maxTolerableCycles(12, page_bits, 0.0);
+        std::printf("%6d %12.0e %14.3g %14.3g %14.3g %13.0f yr\n",
+                    row.year, row.slcEnduranceCycles, t1, t6, t12,
+                    t12 / block_cycles_per_year);
+    }
+
+    std::printf("\nMLC endurance stays at 1e4 across the roadmap "
+                "(Table 1), so the SLC/MLC endurance gap\ngrows from "
+                "10x to 100x — the programmable controller's density "
+                "switch becomes *more*\nvaluable over time, and "
+                "ECC-extended SLC outlives the server itself from "
+                "2011 on.\n");
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 4: flash disk cache miss rate, unified vs split read/write
+ * regions, executing the dbt2 (OLTP) trace model across flash sizes.
+ *
+ * The paper's dbt2 "disk trace" is the access stream below the OS
+ * page cache, so the generator here runs through a DRAM primary disk
+ * cache first (the full system simulator) and the flash tier sees
+ * only PDC misses and write-backs — hot-head-stripped traffic, like
+ * the original trace. The paper sweeps 128-640 MB of flash against
+ * a 2 GB database with 256 MB of DRAM; everything is scaled by 1/8
+ * (16-80 MB flash, 256 MB database, 16 MB DRAM) so each point
+ * reaches steady state in seconds.
+ */
+
+#include <cstdio>
+
+#include "sim/system_sim.hh"
+#include "workload/macro.hh"
+
+using namespace flashcache;
+
+namespace {
+
+double
+missRate(bool split, std::uint64_t flash_bytes)
+{
+    SystemConfig cfg;
+    cfg.dramBytes = mib(16);
+    cfg.flashBytes = flash_bytes;
+    cfg.flashConfig.splitRegions = split;
+    cfg.seed = 5;
+    SystemSimulator sim(cfg);
+    auto gen = makeMacro(macroConfig("dbt2", 0.125));
+    sim.run(*gen, 3000000);
+    return sim.flashCache()->stats().fgst.reads.missRate();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Figure 4: miss rate, unified vs split flash disk "
+                "cache (dbt2 model, 1/8 scale) ===\n\n");
+    std::printf("%12s %14s %14s %14s\n", "flash size", "RW unified",
+                "RW separate", "paper size");
+    for (const unsigned mb : {16u, 32u, 48u, 64u, 80u}) {
+        const double unified = missRate(false, mib(mb));
+        const double split = missRate(true, mib(mb));
+        std::printf("%9u MB %13.1f%% %13.1f%% %11u MB\n", mb,
+                    unified * 100.0, split * 100.0, mb * 8);
+    }
+    std::printf("\nExpected shape: the split cache's miss rate is lower "
+                "and the gap grows with cache size\n(paper Figure 4: "
+                "~50%% down to ~10-20%% over 128-640 MB).\n");
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 6(b): maximum tolerable write/erase cycles versus BCH code
+ * strength, for page-to-page spatial variation of 0, 5, 10 and 20%
+ * of the mean — from the analytic wear-out model of section 4.1.3.
+ */
+
+#include <cstdio>
+
+#include "reliability/wear_model.hh"
+
+using namespace flashcache;
+
+int
+main()
+{
+    const CellLifetimeModel model;
+    const unsigned page_bits = (2048 + 64) * 8;
+    const double sweeps[] = {0.0, 0.05, 0.10, 0.20};
+
+    std::printf("=== Figure 6(b): max tolerable W/E cycles vs code "
+                "strength ===\n\n");
+    std::printf("%4s", "t");
+    for (const double s : sweeps)
+        std::printf("   stdev=%2.0f%%", s * 100.0);
+    std::printf("\n");
+
+    for (unsigned t = 0; t <= 10; ++t) {
+        std::printf("%4u", t);
+        for (const double s : sweeps) {
+            std::printf("  %10.3g",
+                        model.maxTolerableCycles(t, page_bits, s));
+        }
+        std::printf("\n");
+    }
+
+    const double base = model.maxTolerableCycles(1, page_bits, 0.0);
+    const double top = model.maxTolerableCycles(10, page_bits, 0.0);
+    std::printf("\nExpected shape: ~1e5 cycles at t=1 (the datasheet "
+                "anchor), rising to millions by t=10\nwith diminishing "
+                "returns; spatial variation pushes every curve down.\n");
+    std::printf("Measured: t=1 -> %.2g, t=10 -> %.2g (gain %.0fx)\n",
+                base, top, top / base);
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the ECC substrate: GF
+ * arithmetic, CRC32, and the real BCH encode/decode paths the
+ * section 4.1.1 software-vs-accelerator argument rests on.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "ecc/bch.hh"
+#include "ecc/crc32.hh"
+#include "gf/gf2m.hh"
+#include "util/rng.hh"
+
+using namespace flashcache;
+
+namespace {
+
+void
+BM_GfMul(benchmark::State& state)
+{
+    GaloisField gf(15);
+    Rng rng(1);
+    std::vector<GaloisField::Elem> a(1024), b(1024);
+    for (int i = 0; i < 1024; ++i) {
+        a[i] = static_cast<GaloisField::Elem>(
+            1 + rng.uniformInt(gf.size() - 1));
+        b[i] = static_cast<GaloisField::Elem>(
+            1 + rng.uniformInt(gf.size() - 1));
+    }
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(gf.mul(a[i & 1023], b[i & 1023]));
+        ++i;
+    }
+}
+BENCHMARK(BM_GfMul);
+
+void
+BM_Crc32Page(benchmark::State& state)
+{
+    Rng rng(2);
+    std::vector<std::uint8_t> page(2048);
+    for (auto& b : page)
+        b = static_cast<std::uint8_t>(rng.uniformInt(256));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(crc32(page.data(), page.size()));
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 2048);
+}
+BENCHMARK(BM_Crc32Page);
+
+void
+BM_BchEncodePage(benchmark::State& state)
+{
+    const auto t = static_cast<unsigned>(state.range(0));
+    BchCode code(15, t, 2048 * 8);
+    Rng rng(3);
+    std::vector<std::uint8_t> data(2048);
+    for (auto& b : data)
+        b = static_cast<std::uint8_t>(rng.uniformInt(256));
+    std::vector<std::uint8_t> parity(code.parityBytes());
+    for (auto _ : state) {
+        code.encode(data.data(), parity.data());
+        benchmark::DoNotOptimize(parity.data());
+    }
+}
+BENCHMARK(BM_BchEncodePage)->Arg(1)->Arg(4)->Arg(12);
+
+void
+BM_BchDecodePage(benchmark::State& state)
+{
+    const auto t = static_cast<unsigned>(state.range(0));
+    const auto nerr = static_cast<unsigned>(state.range(1));
+    BchCode code(15, t, 2048 * 8);
+    Rng rng(4);
+    std::vector<std::uint8_t> data(2048);
+    for (auto& b : data)
+        b = static_cast<std::uint8_t>(rng.uniformInt(256));
+    std::vector<std::uint8_t> parity(code.parityBytes());
+    code.encode(data.data(), parity.data());
+    for (auto _ : state) {
+        auto d = data;
+        auto p = parity;
+        for (unsigned e = 0; e < nerr; ++e)
+            d[37 + 131 * e] ^= 2;
+        benchmark::DoNotOptimize(code.decode(d.data(), p.data()));
+    }
+}
+BENCHMARK(BM_BchDecodePage)
+    ->Args({4, 0})
+    ->Args({4, 4})
+    ->Args({12, 6})
+    ->Args({12, 12});
+
+} // namespace
+
+BENCHMARK_MAIN();

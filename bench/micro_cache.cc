@@ -1,0 +1,100 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the cache core: the FCHT
+ * bucket sweep behind the section 3.1 claim that ~100 indexable
+ * entries reach peak throughput, plus the hot read path and the
+ * stack-distance analyzer.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/flash_cache.hh"
+#include "core/tables.hh"
+#include "util/rng.hh"
+#include "workload/stack_distance.hh"
+
+using namespace flashcache;
+
+namespace {
+
+void
+BM_FchtLookup(benchmark::State& state)
+{
+    // Section 3.1: sweep the number of indexable hash entries; probe
+    // cost flattens once chains are short (~100 entries suffice for
+    // peak system throughput in the paper).
+    const auto buckets = static_cast<std::size_t>(state.range(0));
+    Fcht t(buckets);
+    Rng rng(1);
+    const int entries = 65536;
+    for (Lba l = 0; l < entries; ++l)
+        t.insert(l, l);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(t.find(i % entries));
+        i += 7919;
+    }
+    state.counters["avg_probe"] = t.avgProbeLength();
+}
+BENCHMARK(BM_FchtLookup)->Arg(16)->Arg(128)->Arg(1024)->Arg(16384);
+
+struct NullStore : BackingStore
+{
+    Seconds read(Lba) override { return milliseconds(4.2); }
+    Seconds write(Lba) override { return milliseconds(4.2); }
+};
+
+void
+BM_FlashCacheReadHit(benchmark::State& state)
+{
+    FlashGeometry geom;
+    geom.numBlocks = 64;
+    geom.framesPerBlock = 16;
+    CellLifetimeModel lifetime;
+    FlashDevice device(geom, FlashTiming(), lifetime, 5);
+    FlashMemoryController ctrl(device);
+    NullStore store;
+    FlashCache cache(ctrl, store);
+    for (Lba l = 0; l < 512; ++l)
+        cache.read(l);
+    Lba l = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.read(l % 512));
+        ++l;
+    }
+}
+BENCHMARK(BM_FlashCacheReadHit);
+
+void
+BM_FlashCacheWriteChurn(benchmark::State& state)
+{
+    // Out-of-place writes with steady GC pressure.
+    FlashGeometry geom;
+    geom.numBlocks = 32;
+    geom.framesPerBlock = 16;
+    CellLifetimeModel lifetime;
+    FlashDevice device(geom, FlashTiming(), lifetime, 6);
+    FlashMemoryController ctrl(device);
+    NullStore store;
+    FlashCache cache(ctrl, store);
+    Rng rng(7);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cache.write(rng.uniformInt(64)));
+}
+BENCHMARK(BM_FlashCacheWriteChurn);
+
+void
+BM_StackDistanceAccess(benchmark::State& state)
+{
+    Rng rng(8);
+    StackDistance sd;
+    for (auto _ : state)
+        sd.access(rng.uniformInt(100000));
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StackDistanceAccess);
+
+} // namespace
+
+BENCHMARK_MAIN();

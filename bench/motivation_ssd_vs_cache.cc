@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Section 2.2's motivating comparison: flash as a solid-state disk
+ * (page-mapped FTL, the eNVy [26] design) versus flash as a disk
+ * cache, on the same device and the same traffic.
+ *
+ * The paper's two arguments, made executable:
+ *  1. GC overhead: the SSD can never evict, so its garbage collection
+ *     grows with utilization until only ~80% of the capacity is
+ *     usable; the cache evicts cold blocks and keeps GC bounded.
+ *  2. Metadata: the FTL's mapping table covers the whole logical
+ *     space; the cache's tables are bounded by the flash size
+ *     (< 2% of it, section 3).
+ */
+
+#include <cstdio>
+
+#include "core/flash_cache.hh"
+#include "ssd/ftl.hh"
+#include "util/rng.hh"
+
+using namespace flashcache;
+
+namespace {
+
+class NullStore : public BackingStore
+{
+  public:
+    Seconds read(Lba) override { return milliseconds(4.2); }
+    Seconds write(Lba) override { return milliseconds(4.2); }
+};
+
+WearParams
+noWear()
+{
+    WearParams wp;
+    wp.nominalCycles = 1e9;
+    return wp;
+}
+
+double
+ssdGcOverhead(double utilization)
+{
+    CellLifetimeModel lifetime(noWear());
+    const FlashGeometry geom = FlashGeometry::forMlcCapacity(mib(32));
+    FlashDevice device(geom, FlashTiming(), lifetime, 1);
+    FlashMemoryController ctrl(device);
+    const auto logical = static_cast<std::uint64_t>(
+        utilization * static_cast<double>(geom.numBlocks) *
+        geom.framesPerBlock * 2);
+    FlashTranslationLayer ftl(ctrl, logical);
+
+    Rng rng(7);
+    for (Lba l = 0; l < logical; ++l)
+        ftl.write(l);
+    for (std::uint64_t i = 0; i < 4ull * logical; ++i)
+        ftl.write(rng.uniformInt(logical));
+    return ftl.stats().gcOverheadFraction();
+}
+
+double
+cacheGcOverhead(double utilization)
+{
+    CellLifetimeModel lifetime(noWear());
+    const FlashGeometry geom = FlashGeometry::forMlcCapacity(mib(32));
+    FlashDevice device(geom, FlashTiming(), lifetime, 1);
+    FlashMemoryController ctrl(device);
+    NullStore store;
+    FlashCacheConfig cfg;
+    cfg.splitRegions = false;
+    cfg.hotPageMigration = false;
+    FlashCache cache(ctrl, store, cfg);
+
+    const auto live = static_cast<Lba>(
+        utilization * static_cast<double>(cache.capacityPages()));
+    Rng rng(7);
+    for (Lba l = 0; l < live; ++l)
+        cache.write(l);
+    for (std::uint64_t i = 0; i < 4ull * live; ++i)
+        cache.write(rng.uniformInt(live));
+    const Seconds useful =
+        cache.stats().flashBusyTime - cache.stats().gcTime;
+    return useful > 0.0 ? cache.stats().gcTime / useful : 0.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Section 2.2: flash-as-SSD (eNVy-style FTL) vs "
+                "flash-as-disk-cache ===\n\n");
+    std::printf("--- GC overhead (GC time / useful time) under "
+                "uniform overwrites, 32 MB flash ---\n");
+    std::printf("%12s %14s %18s\n", "live data", "SSD (FTL)",
+                "disk cache");
+    for (const double u : {0.50, 0.70, 0.80, 0.90, 0.94}) {
+        std::printf("%11.0f%% %13.1f%% %17.1f%%\n", u * 100.0,
+                    100.0 * ssdGcOverhead(u),
+                    100.0 * cacheGcOverhead(u));
+    }
+
+    // Metadata comparison at server scale (computed, not simulated).
+    std::printf("\n--- DRAM metadata for a 32 GB flash in front of a "
+                "1 TB disk ---\n");
+    const double ftl_bytes = (1024.0 * 1024 * 1024 * 1024 / 2048) * 8;
+    const double cache_bytes = 32.0 * 1024 * 1024 * 1024 * 0.02;
+    std::printf("%-34s %8.1f GB (8 B per logical page of the disk)\n",
+                "SSD/file system mapping", ftl_bytes / (1 << 30));
+    std::printf("%-34s %8.1f GB (~2%% of the flash, section 3)\n",
+                "disk cache tables (FCHT/FPST/...)",
+                cache_bytes / (1 << 30));
+
+    std::printf("\nExpected shape: the FTL's GC overhead explodes past "
+                "~80%% utilization while the cache's\nstays bounded "
+                "(it may evict); the cache's metadata is bounded by "
+                "the flash, not the disk.\n");
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Table 1: ITRS 2007 roadmap for memory technology — the density
+ * and endurance constants the area and wear models consume.
+ */
+
+#include <cstdio>
+
+#include "flash/flash_spec.hh"
+
+using namespace flashcache;
+
+int
+main()
+{
+    std::printf("=== Table 1: ITRS 2007 roadmap for memory technology "
+                "===\n\n");
+    std::printf("%-34s", "");
+    for (const auto& r : itrsRoadmap())
+        std::printf("%10d", r.year);
+    std::printf("\n");
+
+    std::printf("%-34s", "NAND Flash-SLC (um^2/bit)");
+    for (const auto& r : itrsRoadmap())
+        std::printf("%10.4f", r.slcUm2PerBit);
+    std::printf("\n");
+
+    std::printf("%-34s", "NAND Flash-MLC (um^2/bit)");
+    for (const auto& r : itrsRoadmap())
+        std::printf("%10.4f", r.mlcUm2PerBit);
+    std::printf("\n");
+
+    std::printf("%-34s", "DRAM cell density (um^2/bit)");
+    for (const auto& r : itrsRoadmap())
+        std::printf("%10.4f", r.dramUm2PerBit);
+    std::printf("\n");
+
+    std::printf("%-34s", "W/E cycles SLC/MLC");
+    for (const auto& r : itrsRoadmap()) {
+        std::printf("  %.0e/%.0e", r.slcEnduranceCycles,
+                    r.mlcEnduranceCycles);
+    }
+    std::printf("\n");
+
+    std::printf("%-34s", "Data retention (years)");
+    for (const auto& r : itrsRoadmap())
+        std::printf("     %2d-%2d", r.retentionYearsLo,
+                    r.retentionYearsHi);
+    std::printf("\n");
+
+    // The derived trend the paper highlights: flash is headed to ~8x
+    // the density of DRAM by 2015.
+    const auto& last = itrsRoadmap().back();
+    std::printf("\nDerived: 2015 DRAM/MLC area ratio = %.1fx "
+                "(paper expects ~8x)\n",
+                last.dramUm2PerBit / last.mlcUm2PerBit);
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * OLTP scenario: a dbt2-style database workload on the flash disk
+ * cache, demonstrating why the paper splits the flash into read and
+ * write regions (section 3.5) — the same trace runs against a
+ * unified cache and a split cache, and the example reports miss
+ * rates, garbage-collection effort and flash wear for both.
+ */
+
+#include <cstdio>
+
+#include "core/flash_cache.hh"
+#include "workload/macro.hh"
+
+using namespace flashcache;
+
+namespace {
+
+class CountingDisk : public BackingStore
+{
+  public:
+    Seconds
+    read(Lba) override
+    {
+        ++reads;
+        return milliseconds(4.2);
+    }
+
+    Seconds
+    write(Lba) override
+    {
+        ++writes;
+        return milliseconds(4.2);
+    }
+
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+};
+
+void
+run(bool split)
+{
+    CellLifetimeModel lifetime;
+    const FlashGeometry geom = FlashGeometry::forMlcCapacity(mib(64));
+    FlashDevice device(geom, FlashTiming(), lifetime, 4);
+    FlashMemoryController controller(device);
+    CountingDisk disk;
+
+    FlashCacheConfig cfg;
+    cfg.splitRegions = split;
+    FlashCache cache(controller, disk, cfg);
+
+    // dbt2 model at 1/8 scale: 256 MB database, 35% writes.
+    auto gen = makeMacro(macroConfig("dbt2", 0.125));
+    Rng rng(12);
+    for (int i = 0; i < 1500000; ++i) {
+        const TraceRecord r = gen->next(rng);
+        if (r.isWrite)
+            cache.write(r.lba);
+        else
+            cache.read(r.lba);
+    }
+
+    const FlashCacheStats& st = cache.stats();
+    std::printf("\n[%s]\n", split ? "split read/write regions (90/10)"
+                                  : "unified cache");
+    std::printf("  read miss rate   %.1f%%\n",
+                100.0 * st.fgst.reads.missRate());
+    std::printf("  invalid pages    %llu (%.1f%% of capacity)\n",
+                static_cast<unsigned long long>(cache.invalidPages()),
+                100.0 * static_cast<double>(cache.invalidPages()) /
+                    static_cast<double>(cache.capacityPages()));
+    std::printf("  GC runs/copies   %llu / %llu\n",
+                static_cast<unsigned long long>(st.gcRuns),
+                static_cast<unsigned long long>(st.gcPageCopies));
+    std::printf("  evictions        %llu (%llu dirty flushes)\n",
+                static_cast<unsigned long long>(st.evictions),
+                static_cast<unsigned long long>(st.evictionFlushes));
+    std::printf("  wear migrations  %llu\n",
+                static_cast<unsigned long long>(st.wearMigrations));
+    std::printf("  disk traffic     %llu reads, %llu writes\n",
+                static_cast<unsigned long long>(disk.reads),
+                static_cast<unsigned long long>(disk.writes));
+
+    // Erase spread across blocks: wear-leveling keeps it tight.
+    std::uint32_t max_erase = 0;
+    std::uint64_t total_erase = 0;
+    for (std::uint32_t b = 0; b < geom.numBlocks; ++b) {
+        max_erase = std::max(max_erase, device.blockEraseCount(b));
+        total_erase += device.blockEraseCount(b);
+    }
+    const double mean = static_cast<double>(total_erase) /
+        geom.numBlocks;
+    std::printf("  erase counts     mean %.1f, max %u (max/mean %.2f)\n",
+                mean, max_erase, mean > 0 ? max_erase / mean : 0.0);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("dbt2-style OLTP trace through a 64 MB flash disk "
+                "cache (database: 256 MB).\n");
+    run(false);
+    run(true);
+    std::printf("\nThe split design keeps out-of-place write churn out "
+                "of the read region: a much lower\nread miss rate and "
+                "less disk traffic for the same trace (Figure 4's "
+                "comparison).\n");
+    return 0;
+}

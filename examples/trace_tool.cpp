@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Trace utility: generate any Table 4 workload to a CSV disk trace,
+ * summarize an existing trace, or compute its LRU miss-rate curve —
+ * the same analyses the Figure 4/7 benches run, exposed as a small
+ * command-line tool.
+ *
+ * Usage:
+ *   trace_tool gen <workload> <records> <out.csv> [scale]
+ *   trace_tool summarize <trace.csv>
+ *   trace_tool curve <trace.csv>
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "workload/macro.hh"
+#include "workload/stack_distance.hh"
+#include "workload/synthetic.hh"
+#include "workload/trace.hh"
+
+using namespace flashcache;
+
+namespace {
+
+std::unique_ptr<WorkloadGenerator>
+makeByName(const std::string& name, double scale)
+{
+    for (const auto& cfg : table4MicroConfigs(scale)) {
+        if (cfg.name == name)
+            return makeSynthetic(cfg);
+    }
+    for (const auto& cfg : table4MacroConfigs(scale)) {
+        if (cfg.name == name)
+            return makeMacro(cfg);
+    }
+    return nullptr;
+}
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage:\n"
+                 "  trace_tool gen <workload> <records> <out.csv> "
+                 "[scale]\n"
+                 "  trace_tool summarize <trace.csv>\n"
+                 "  trace_tool curve <trace.csv>\n"
+                 "workloads: uniform alpha1 alpha2 alpha3 exp1 exp2 "
+                 "dbt2 SPECWeb99 WebSearch1 WebSearch2 Financial1 "
+                 "Financial2\n");
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 3)
+        return usage();
+    const std::string cmd = argv[1];
+
+    if (cmd == "gen") {
+        if (argc < 5)
+            return usage();
+        const std::string name = argv[2];
+        const auto records = std::strtoull(argv[3], nullptr, 10);
+        const double scale = argc > 5 ? std::atof(argv[5]) : 0.05;
+        auto gen = makeByName(name, scale);
+        if (!gen) {
+            std::fprintf(stderr, "unknown workload: %s\n", name.c_str());
+            return 1;
+        }
+        Rng rng(2026);
+        const Trace t = gen->generate(rng, records);
+        saveTraceCsv(t, argv[4]);
+        std::printf("wrote %llu records of %s (x%.3f scale) to %s\n",
+                    static_cast<unsigned long long>(records),
+                    name.c_str(), scale, argv[4]);
+        return 0;
+    }
+
+    if (cmd == "summarize") {
+        const Trace t = loadTraceCsv(argv[2]);
+        const TraceSummary s = summarizeTrace(t);
+        std::printf("records        %llu\n",
+                    static_cast<unsigned long long>(s.records));
+        std::printf("write fraction %.1f%%\n",
+                    100.0 * s.writeFraction());
+        std::printf("distinct pages %llu (%.1f MB at 2 KB pages)\n",
+                    static_cast<unsigned long long>(s.distinctPages),
+                    static_cast<double>(s.workingSetBytes()) /
+                        (1024 * 1024));
+        std::printf("max LBA        %llu\n",
+                    static_cast<unsigned long long>(s.maxLba));
+        return 0;
+    }
+
+    if (cmd == "curve") {
+        const Trace t = loadTraceCsv(argv[2]);
+        StackDistance sd;
+        for (const TraceRecord& r : t) {
+            if (!r.isWrite)
+                sd.access(r.lba);
+        }
+        std::printf("%14s %12s\n", "cache (pages)", "miss rate");
+        for (std::uint64_t size = 64; size <= sd.distinctPages() * 2;
+             size *= 2) {
+            std::printf("%14llu %11.1f%%\n",
+                        static_cast<unsigned long long>(size),
+                        100.0 * sd.missRateAtSize(size));
+        }
+        return 0;
+    }
+
+    return usage();
+}

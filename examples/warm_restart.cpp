@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Warm-restart walkthrough: the section 3 management tables live on
+ * disk and load back into DRAM at boot, so a server reboot does not
+ * cool the flash cache. This example fills a cache, "reboots" by
+ * saving and restoring device + cache state to files, and shows that
+ * the hot set still hits without any disk traffic.
+ */
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/flash_cache.hh"
+#include "util/rng.hh"
+
+using namespace flashcache;
+
+namespace {
+
+class CountingDisk : public BackingStore
+{
+  public:
+    Seconds
+    read(Lba) override
+    {
+        ++reads;
+        return milliseconds(4.2);
+    }
+
+    Seconds write(Lba) override { return milliseconds(4.2); }
+
+    std::uint64_t reads = 0;
+};
+
+FlashGeometry
+geometry()
+{
+    return FlashGeometry::forMlcCapacity(mib(16));
+}
+
+} // namespace
+
+int
+main()
+{
+    CellLifetimeModel lifetime;
+    const char* dev_path = "/tmp/flashcache_device.state";
+    const char* cache_path = "/tmp/flashcache_tables.state";
+
+    // --- before the "reboot": warm the cache ---
+    {
+        FlashDevice device(geometry(), FlashTiming(), lifetime, 2026);
+        FlashMemoryController controller(device);
+        CountingDisk disk;
+        FlashCache cache(controller, disk);
+
+        Rng rng(1);
+        ZipfSampler zipf(6000, 1.1);
+        for (int i = 0; i < 300000; ++i) {
+            const Lba l = zipf.sample(rng);
+            if (rng.bernoulli(0.2))
+                cache.write(l);
+            else
+                cache.read(l);
+        }
+        cache.flushAll(); // dirty data must be safe before power-off
+        std::printf("before reboot: %.1f%% read hit rate, %llu pages "
+                    "cached, %llu disk reads\n",
+                    100.0 * cache.stats().fgst.reads.hitRate(),
+                    static_cast<unsigned long long>(cache.validPages()),
+                    static_cast<unsigned long long>(disk.reads));
+
+        std::ofstream dev_out(dev_path, std::ios::binary);
+        device.saveState(dev_out);
+        std::ofstream cache_out(cache_path, std::ios::binary);
+        cache.saveState(cache_out);
+    }
+
+    // --- after the "reboot": fresh objects, tables loaded ---
+    FlashDevice device(geometry(), FlashTiming(), lifetime, 2026);
+    FlashMemoryController controller(device);
+    CountingDisk disk;
+    FlashCache cache(controller, disk);
+    {
+        std::ifstream dev_in(dev_path, std::ios::binary);
+        device.loadState(dev_in);
+        std::ifstream cache_in(cache_path, std::ios::binary);
+        cache.loadState(cache_in);
+    }
+
+    Rng rng(2);
+    ZipfSampler zipf(6000, 1.1);
+    RatioStat warm;
+    for (int i = 0; i < 50000; ++i) {
+        if (cache.read(zipf.sample(rng)).hit)
+            warm.hit();
+        else
+            warm.miss();
+    }
+    std::printf("after reboot:  %.1f%% read hit rate immediately, "
+                "%llu disk reads for the re-misses\n",
+                100.0 * warm.hitRate(),
+                static_cast<unsigned long long>(disk.reads));
+    std::printf("\nA cold cache would have started at a ~0%% hit rate "
+                "and paid one 4.2 ms disk access per miss\nwhile "
+                "re-warming; the persisted tables (about 2%% of the "
+                "flash size, section 3) skip that.\n");
+
+    std::remove(dev_path);
+    std::remove(cache_path);
+    return 0;
+}

@@ -1,0 +1,181 @@
+#include "controller/memory_controller.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+
+#include "ecc/crc32.hh"
+#include "util/log.hh"
+
+namespace flashcache {
+
+FlashMemoryController::FlashMemoryController(FlashDevice& device,
+                                             const EccTimingModel& timing,
+                                             unsigned max_ecc)
+    : device_(&device), timing_(timing), maxEcc_(max_ecc),
+      injectRng_(0xC0FFEE)
+{
+}
+
+const BchCode&
+FlashMemoryController::codeFor(unsigned t)
+{
+    auto it = codes_.find(t);
+    if (it == codes_.end()) {
+        it = codes_.emplace(t, std::make_unique<BchCode>(
+            15, t, device_->geometry().pageDataBytes * 8)).first;
+    }
+    return *it->second;
+}
+
+ControllerReadResult
+FlashMemoryController::readPage(const PageAddress& addr,
+                                const PageDescriptor& desc)
+{
+    ControllerReadResult res;
+    const auto raw = device_->readPage(addr);
+    res.rawBitErrors = raw.hardBitErrors;
+
+    const Seconds ecc_lat = decodeLatency(desc.eccStrength);
+    res.latency = raw.latency + ecc_lat;
+    stats_.eccTime += ecc_lat;
+    ++stats_.reads;
+
+    if (raw.hardBitErrors == 0) {
+        res.status = ReadStatus::Clean;
+    } else if (raw.hardBitErrors <= desc.eccStrength) {
+        res.status = ReadStatus::Corrected;
+        res.correctedBits = raw.hardBitErrors;
+        ++stats_.correctedReads;
+        stats_.bitsCorrected += raw.hardBitErrors;
+    } else {
+        res.status = ReadStatus::Uncorrectable;
+        ++stats_.uncorrectableReads;
+    }
+    return res;
+}
+
+Seconds
+FlashMemoryController::writePage(const PageAddress& addr,
+                                 const PageDescriptor& desc)
+{
+    const Seconds enc = timing_.encodeLatency(desc.eccStrength);
+    const Seconds lat = device_->programPage(addr) + enc;
+    stats_.eccTime += enc;
+    ++stats_.writes;
+    return lat;
+}
+
+Seconds
+FlashMemoryController::eraseBlock(std::uint32_t block)
+{
+    ++stats_.erases;
+    return device_->eraseBlock(block);
+}
+
+Seconds
+FlashMemoryController::writePageReal(const PageAddress& addr,
+                                     const PageDescriptor& desc,
+                                     const std::uint8_t* data)
+{
+    const auto& geom = device_->geometry();
+    std::vector<std::uint8_t> spare(geom.pageSpareBytes, 0);
+
+    // Spare layout: [0..3] CRC32 of the data, [4..] BCH parity.
+    const std::uint32_t crc = crc32(data, geom.pageDataBytes);
+    std::memcpy(spare.data(), &crc, 4);
+    if (desc.eccStrength > 0) {
+        const BchCode& code = codeFor(desc.eccStrength);
+        if (4 + code.parityBytes() > geom.pageSpareBytes)
+            panic("BCH parity does not fit the spare area");
+        code.encode(data, spare.data() + 4);
+    }
+
+    const Seconds enc = timing_.encodeLatency(desc.eccStrength);
+    const Seconds lat = device_->programPage(addr, data, spare.data()) +
+        enc;
+    stats_.eccTime += enc;
+    ++stats_.writes;
+    return lat;
+}
+
+ControllerReadResult
+FlashMemoryController::readPageReal(const PageAddress& addr,
+                                    const PageDescriptor& desc,
+                                    std::uint8_t* out,
+                                    unsigned extra_bit_errors)
+{
+    const auto& geom = device_->geometry();
+    ControllerReadResult res;
+
+    const auto raw = device_->readPage(addr);
+    const Seconds ecc_lat = decodeLatency(desc.eccStrength);
+    res.latency = raw.latency + ecc_lat;
+    stats_.eccTime += ecc_lat;
+    ++stats_.reads;
+
+    const auto* stored = device_->pageData(addr);
+    if (!stored)
+        panic("real data path requires a store_data FlashDevice");
+
+    std::vector<std::uint8_t> data(stored->begin(),
+                                   stored->begin() + geom.pageDataBytes);
+    std::vector<std::uint8_t> spare(stored->begin() + geom.pageDataBytes,
+                                    stored->end());
+
+    // Physically inject the medium's hard errors (plus any extra the
+    // caller wants) across the protected region: data + parity.
+    const unsigned nerr = raw.hardBitErrors + extra_bit_errors;
+    res.rawBitErrors = nerr;
+    const std::uint32_t parity_bits = desc.eccStrength > 0
+        ? codeFor(desc.eccStrength).parityBits() : 0;
+    const std::uint32_t protected_bits = geom.pageDataBytes * 8 +
+        parity_bits;
+    std::set<std::uint32_t> picks;
+    while (picks.size() < nerr && picks.size() < protected_bits) {
+        picks.insert(static_cast<std::uint32_t>(
+            injectRng_.uniformInt(protected_bits)));
+    }
+    for (const std::uint32_t p : picks) {
+        if (p < geom.pageDataBytes * 8) {
+            data[p / 8] ^= static_cast<std::uint8_t>(1u << (p % 8));
+        } else {
+            const std::uint32_t q = p - geom.pageDataBytes * 8;
+            spare[4 + q / 8] ^= static_cast<std::uint8_t>(1u << (q % 8));
+        }
+    }
+
+    bool ok = true;
+    unsigned corrected = 0;
+    if (desc.eccStrength > 0) {
+        const BchCode& code = codeFor(desc.eccStrength);
+        const auto dec = code.decode(data.data(), spare.data() + 4);
+        ok = dec.ok;
+        corrected = dec.correctedBits;
+    } else {
+        ok = picks.empty();
+    }
+
+    std::uint32_t stored_crc;
+    std::memcpy(&stored_crc, spare.data(), 4);
+    const bool crc_ok = crc32(data.data(), geom.pageDataBytes) ==
+        stored_crc;
+
+    std::memcpy(out, data.data(), geom.pageDataBytes);
+    if (ok && crc_ok) {
+        if (corrected == 0 && picks.empty()) {
+            res.status = ReadStatus::Clean;
+        } else {
+            res.status = ReadStatus::Corrected;
+            res.correctedBits = corrected;
+            ++stats_.correctedReads;
+            stats_.bitsCorrected += corrected;
+        }
+    } else {
+        res.status = ReadStatus::Uncorrectable;
+        ++stats_.uncorrectableReads;
+    }
+    return res;
+}
+
+} // namespace flashcache

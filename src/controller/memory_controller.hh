@@ -1,0 +1,151 @@
+/**
+ * @file
+ * The programmable flash memory controller (paper section 4).
+ *
+ * Sits between the software-managed disk cache and the raw NAND
+ * device. Every access carries a descriptor — ECC strength and
+ * density mode read out of the FPST by the driver — and the
+ * controller runs the (modeled or real) BCH + CRC pipeline at that
+ * strength.
+ *
+ * Two data paths share one timing/correctness contract:
+ *  - Modeled (default): bit errors come as counts from the device's
+ *    reliability model; correction succeeds iff count <= strength.
+ *    Fast enough for billion-access trace simulation.
+ *  - Real: page payloads round-trip through the actual BchCode
+ *    encoder/decoder with physically injected bit flips, and CRC32
+ *    verifies the result. Used by integration tests and the
+ *    micro-benchmarks; requires a store_data FlashDevice.
+ */
+
+#ifndef FLASHCACHE_CONTROLLER_MEMORY_CONTROLLER_HH
+#define FLASHCACHE_CONTROLLER_MEMORY_CONTROLLER_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "ecc/bch.hh"
+#include "ecc/ecc_timing.hh"
+#include "flash/flash_device.hh"
+#include "util/types.hh"
+
+namespace flashcache {
+
+/** Per-access control message generated from the FPST (section 5.2). */
+struct PageDescriptor
+{
+    /** BCH correctable bits; 0 disables ECC (CRC only). */
+    std::uint8_t eccStrength = 1;
+
+    /** Requested density mode; must match the frame's current mode
+     *  for reads. */
+    DensityMode mode = DensityMode::MLC;
+};
+
+/** Outcome classification of a controller read. */
+enum class ReadStatus : std::uint8_t
+{
+    Clean,         ///< no bit errors present
+    Corrected,     ///< errors present, all corrected by BCH
+    Uncorrectable, ///< more errors than the code strength (CRC flags)
+};
+
+/** Full result of a controller page read. */
+struct ControllerReadResult
+{
+    ReadStatus status = ReadStatus::Clean;
+    /** Errors the ECC engine repaired. */
+    unsigned correctedBits = 0;
+    /** Raw hard errors present on the medium. */
+    unsigned rawBitErrors = 0;
+    /** Flash array + ECC decode + CRC latency. */
+    Seconds latency = 0.0;
+};
+
+/** Controller-side counters. */
+struct ControllerStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t erases = 0;
+    std::uint64_t correctedReads = 0;
+    std::uint64_t uncorrectableReads = 0;
+    std::uint64_t bitsCorrected = 0;
+    Seconds eccTime = 0.0;
+};
+
+/**
+ * Programmable controller front-end over one FlashDevice.
+ */
+class FlashMemoryController
+{
+  public:
+    /**
+     * @param device  The NAND array this controller drives.
+     * @param timing  ECC accelerator timing model.
+     * @param max_ecc Hardware strength limit (paper: 12).
+     */
+    FlashMemoryController(FlashDevice& device,
+                          const EccTimingModel& timing = EccTimingModel(),
+                          unsigned max_ecc = 12);
+
+    FlashDevice& device() { return *device_; }
+    const FlashDevice& device() const { return *device_; }
+    unsigned maxEccStrength() const { return maxEcc_; }
+    const EccTimingModel& timingModel() const { return timing_; }
+
+    /** Modeled-path read: error counts, no payload. */
+    ControllerReadResult readPage(const PageAddress& addr,
+                                  const PageDescriptor& desc);
+
+    /** Modeled-path program. @return latency including encode. */
+    Seconds writePage(const PageAddress& addr,
+                      const PageDescriptor& desc);
+
+    Seconds eraseBlock(std::uint32_t block);
+
+    /**
+     * Real-path program: encodes `data` (pageDataBytes) with BCH at
+     * the descriptor strength plus CRC32 into the spare area and
+     * stores it in the device. Requires a store_data device.
+     */
+    Seconds writePageReal(const PageAddress& addr,
+                          const PageDescriptor& desc,
+                          const std::uint8_t* data);
+
+    /**
+     * Real-path read: fetches the stored payload, flips
+     * device-reported hard error bits plus any extra injected ones,
+     * runs the real BCH decode and CRC check, and returns the
+     * recovered payload in `out` (pageDataBytes).
+     */
+    ControllerReadResult readPageReal(const PageAddress& addr,
+                                      const PageDescriptor& desc,
+                                      std::uint8_t* out,
+                                      unsigned extra_bit_errors = 0);
+
+    const ControllerStats& stats() const { return stats_; }
+
+    /** Decode latency the pipeline charges at a strength. */
+    Seconds
+    decodeLatency(unsigned t) const
+    {
+        return timing_.decodeLatency(t).total() + timing_.crcLatency();
+    }
+
+  private:
+    const BchCode& codeFor(unsigned t);
+
+    FlashDevice* device_;
+    EccTimingModel timing_;
+    unsigned maxEcc_;
+    ControllerStats stats_;
+    std::map<unsigned, std::unique_ptr<BchCode>> codes_;
+    Rng injectRng_;
+};
+
+} // namespace flashcache
+
+#endif // FLASHCACHE_CONTROLLER_MEMORY_CONTROLLER_HH

@@ -1,0 +1,31 @@
+#include "controller/reconfig_policy.hh"
+
+namespace flashcache {
+
+ReconfigCosts
+ReconfigPolicy::costs(const ReconfigInputs& in)
+{
+    ReconfigCosts c;
+    c.strongerEcc = in.pageAccessFreq * in.deltaCodeDelay;
+    c.densitySwitch = in.deltaMiss * (in.missPenalty + in.hitLatency) -
+        in.pageAccessFreq * in.deltaSlcGain;
+    return c;
+}
+
+ReconfigDecision
+ReconfigPolicy::onFaultIncrease(const ReconfigInputs& in)
+{
+    if (!in.canIncreaseEcc && !in.canSwitchToSlc)
+        return ReconfigDecision::RetireBlock;
+    if (!in.canIncreaseEcc)
+        return ReconfigDecision::SwitchToSlc;
+    if (!in.canSwitchToSlc)
+        return ReconfigDecision::IncreaseEcc;
+
+    const ReconfigCosts c = costs(in);
+    return c.strongerEcc <= c.densitySwitch
+        ? ReconfigDecision::IncreaseEcc
+        : ReconfigDecision::SwitchToSlc;
+}
+
+} // namespace flashcache

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Page reconfiguration policy (paper section 5.2).
+ *
+ * When a page starts failing consistently, the driver must choose
+ * between enforcing a stronger ECC and reducing the cell density
+ * (MLC -> SLC). The paper picks whichever costs less overall access
+ * latency, using heuristics over runtime statistics from the FPST
+ * and FGST:
+ *
+ *   dt_cs   = freq_i * dcode_delay                (stronger ECC)
+ *   dt_d   ~= dmiss * (t_miss + t_hit)            (capacity loss)
+ *            - freq_i * dSLC                      (faster reads)
+ *
+ * where freq_i is the page's relative access frequency, dcode_delay
+ * the extra decode latency of the next ECC level, dmiss the miss
+ * rate increase from halving the page's density, and dSLC the read
+ * latency saved by SLC sensing. A second, independent trigger
+ * migrates read-hot MLC pages to SLC when their FPST access counter
+ * saturates (section 5.2.2).
+ */
+
+#ifndef FLASHCACHE_CONTROLLER_RECONFIG_POLICY_HH
+#define FLASHCACHE_CONTROLLER_RECONFIG_POLICY_HH
+
+#include "util/types.hh"
+
+namespace flashcache {
+
+/** What to do with a page whose error count reached its ECC limit. */
+enum class ReconfigDecision
+{
+    IncreaseEcc,  ///< bump the page's BCH strength
+    SwitchToSlc,  ///< halve density, keep (or reset) strength
+    RetireBlock,  ///< both knobs exhausted: remove the block
+};
+
+/** Runtime statistics feeding one reconfiguration decision. */
+struct ReconfigInputs
+{
+    /** Relative access frequency of the page, in [0, 1]. */
+    double pageAccessFreq = 0.0;
+
+    /** Current flash disk-cache miss rate (FGST). */
+    double missRate = 0.0;
+
+    /** Average miss penalty t_miss (FGST), seconds. */
+    Seconds missPenalty = 0.0;
+
+    /** Average hit latency t_hit (FGST), seconds. */
+    Seconds hitLatency = 0.0;
+
+    /** Extra decode latency of stepping the ECC one level up. */
+    Seconds deltaCodeDelay = 0.0;
+
+    /** Read latency saved by SLC vs MLC sensing. */
+    Seconds deltaSlcGain = 0.0;
+
+    /** Estimated miss-rate increase from losing one page of
+     *  capacity (half a frame). */
+    double deltaMiss = 0.0;
+
+    /** False when the page already runs the maximum BCH strength. */
+    bool canIncreaseEcc = true;
+
+    /** False when the page is already SLC. */
+    bool canSwitchToSlc = true;
+};
+
+/** Latency-cost heuristics of section 5.2.1. */
+struct ReconfigCosts
+{
+    Seconds strongerEcc = 0.0;   ///< dt_cs
+    Seconds densitySwitch = 0.0; ///< dt_d
+};
+
+/**
+ * Stateless decision engine; one instance per cache is fine.
+ */
+class ReconfigPolicy
+{
+  public:
+    /** Evaluate both heuristic costs (exposed for tests/benches). */
+    static ReconfigCosts costs(const ReconfigInputs& in);
+
+    /** Choose the response to a fault increase (section 5.2.1). */
+    static ReconfigDecision onFaultIncrease(const ReconfigInputs& in);
+};
+
+} // namespace flashcache
+
+#endif // FLASHCACHE_CONTROLLER_RECONFIG_POLICY_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Interface the flash disk cache uses to reach the backing disk.
+ *
+ * The cache core calls read() on misses and write() when flushing or
+ * evicting dirty pages; the system simulator implements it with the
+ * DiskModel, and tests implement it with instrumented fakes.
+ */
+
+#ifndef FLASHCACHE_CORE_BACKING_STORE_HH
+#define FLASHCACHE_CORE_BACKING_STORE_HH
+
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace flashcache {
+
+/**
+ * Abstract page-granular backing store.
+ */
+class BackingStore
+{
+  public:
+    virtual ~BackingStore() = default;
+
+    /** Fetch one page. @return access latency. */
+    virtual Seconds read(Lba lba) = 0;
+
+    /** Persist one page. @return access latency. */
+    virtual Seconds write(Lba lba) = 0;
+};
+
+/**
+ * A backing store that also moves page payloads, required by the
+ * cache's real-data mode (FlashCacheConfig::realData). The plain
+ * read()/write() latency hooks remain the timing source; these
+ * variants carry the bytes.
+ */
+class PayloadBackingStore : public BackingStore
+{
+  public:
+    /** Fetch one page's contents into `out` (page-size bytes). */
+    virtual Seconds readData(Lba lba, std::uint8_t* out) = 0;
+
+    /** Persist one page's contents. */
+    virtual Seconds writeData(Lba lba, const std::uint8_t* data) = 0;
+};
+
+} // namespace flashcache
+
+#endif // FLASHCACHE_CORE_BACKING_STORE_HH

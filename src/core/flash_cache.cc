@@ -1,0 +1,1103 @@
+#include "core/flash_cache.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/log.hh"
+#include "util/serialize.hh"
+
+namespace flashcache {
+
+FlashCache::FlashCache(FlashMemoryController& controller,
+                       BackingStore& store,
+                       const FlashCacheConfig& config)
+    : ctrl_(&controller), store_(&store), config_(config),
+      fcht_(config.fchtBuckets != 0
+                ? config.fchtBuckets
+                : std::max<std::size_t>(
+                      1024, controller.device().geometry().capacityBytes(
+                                DensityMode::MLC) / 2048 / 2))
+{
+    const FlashGeometry& geom = ctrl_->device().geometry();
+    framesPerBlock_ = geom.framesPerBlock;
+    numBlocks_ = geom.numBlocks;
+
+    if (config_.realData) {
+        if (!ctrl_->device().storesData())
+            fatal("realData mode requires a store_data FlashDevice");
+        payloadStore_ = dynamic_cast<PayloadBackingStore*>(store_);
+        if (!payloadStore_)
+            fatal("realData mode requires a PayloadBackingStore");
+    }
+
+    fpst_.resize(static_cast<std::size_t>(numBlocks_) * framesPerBlock_ *
+                 2);
+    for (FpstEntry& e : fpst_)
+        e.eccStrength = config_.initialEccStrength;
+    fbst_.resize(numBlocks_);
+
+    std::uint32_t read_blocks = config_.splitRegions
+        ? static_cast<std::uint32_t>(
+              std::lround(config_.readRegionFraction * numBlocks_))
+        : numBlocks_;
+    if (config_.splitRegions) {
+        read_blocks = std::clamp<std::uint32_t>(read_blocks, 2,
+                                                numBlocks_ - 2);
+        if (numBlocks_ < 4)
+            fatal("split flash cache needs at least 4 blocks");
+    }
+
+    for (std::uint32_t b = 0; b < numBlocks_; ++b) {
+        if (ctrl_->device().isFactoryBad(b)) {
+            // Shipped bad: never joins a region (section 5.2's
+            // retirement, applied at format time).
+            fbst_[b].retired = true;
+            ++stats_.retiredBlocks;
+            continue;
+        }
+        const int r = (config_.splitRegions && b >= read_blocks) ? kWrite
+                                                                 : kRead;
+        fbst_[b].region = static_cast<std::int8_t>(r);
+        regions_[r].freeBlocks.push_back(b);
+        ++regions_[r].ownedBlocks;
+    }
+    if (regions_[kRead].ownedBlocks < 2 ||
+        (config_.splitRegions && regions_[kWrite].ownedBlocks < 2)) {
+        fatal("too many factory bad blocks for a usable cache");
+    }
+}
+
+int
+FlashCache::regionOf(std::uint32_t block) const
+{
+    const int r = fbst_[block].region;
+    if (r < 0)
+        panic("block has no owning region");
+    return r;
+}
+
+std::uint32_t
+FlashCache::blockPageSlots(std::uint32_t block) const
+{
+    const FlashDevice& dev = ctrl_->device();
+    std::uint32_t slots = 0;
+    for (std::uint16_t f = 0; f < framesPerBlock_; ++f)
+        slots += dev.frameMode(block, f) == DensityMode::MLC ? 2 : 1;
+    return slots;
+}
+
+bool
+FlashCache::cursorNext(Region::Cursor& cur) const
+{
+    const FlashDevice& dev = ctrl_->device();
+    if (cur.sub == 0 &&
+        dev.frameMode(cur.block, cur.frame) == DensityMode::MLC) {
+        cur.sub = 1;
+    } else {
+        cur.sub = 0;
+        ++cur.frame;
+    }
+    return cur.frame < framesPerBlock_;
+}
+
+std::optional<std::uint32_t>
+FlashCache::takeFreeBlock(int region, bool want_slc, bool background)
+{
+    Region& reg = regions_[region];
+    if (reg.freeBlocks.empty())
+        return std::nullopt;
+
+    FlashDevice& dev = ctrl_->device();
+
+    // Prefer a block already formatted in the wanted density to
+    // avoid a reformat erase.
+    std::size_t pick = reg.freeBlocks.size() - 1;
+    for (std::size_t i = reg.freeBlocks.size(); i-- > 0;) {
+        const std::uint32_t b = reg.freeBlocks[i];
+        const bool all_slc = fbst_[b].slcFrames == framesPerBlock_;
+        if (want_slc == all_slc) {
+            pick = i;
+            break;
+        }
+    }
+    const std::uint32_t block = reg.freeBlocks[pick];
+    reg.freeBlocks.erase(reg.freeBlocks.begin() +
+                         static_cast<std::ptrdiff_t>(pick));
+
+    if (want_slc && fbst_[block].slcFrames != framesPerBlock_) {
+        for (std::uint16_t f = 0; f < framesPerBlock_; ++f)
+            dev.requestFrameMode(block, f, DensityMode::SLC);
+        Seconds& sink = background ? stats_.gcTime : stats_.evictionTime;
+        eraseBlockTracked(block, sink);
+    }
+    return block;
+}
+
+std::optional<std::uint64_t>
+FlashCache::allocateSlot(int region, bool want_slc, bool background)
+{
+    Region& reg = regions_[region];
+    Region::Cursor& cur = reg.cursor[want_slc ? 1 : 0];
+
+    for (int guard = 0; guard < 1 << 20; ++guard) {
+        if (cur.block == kNoBlock) {
+            const auto blk = takeFreeBlock(region, want_slc, background);
+            if (!blk)
+                return std::nullopt;
+            cur.block = *blk;
+            cur.frame = 0;
+            cur.sub = 0;
+        }
+        if (cur.frame >= framesPerBlock_) {
+            // Block fully programmed: becomes an eviction candidate.
+            reg.lruBlocks.touch(cur.block);
+            cur.block = kNoBlock;
+            continue;
+        }
+        const PageAddress a{cur.block, cur.frame, cur.sub};
+        const std::uint64_t id = pageId(a);
+        cursorNext(cur);
+        if (fpst_[id].state != PageState::Free)
+            continue;
+        return id;
+    }
+    panic("allocateSlot failed to converge");
+}
+
+Seconds
+FlashCache::installPage(std::uint64_t id, Lba lba, bool dirty,
+                        std::uint8_t access_count,
+                        const std::uint8_t* data)
+{
+    FpstEntry& e = fpst_[id];
+    if (e.state != PageState::Free)
+        panic("installPage into non-free slot");
+
+    const PageAddress addr = addressOf(id);
+    const FlashDevice& dev = ctrl_->device();
+    e.mode = dev.frameMode(addr.block, addr.frame);
+
+    PageDescriptor desc;
+    desc.eccStrength = e.eccStrength;
+    desc.mode = e.mode;
+    const Seconds lat = data ? ctrl_->writePageReal(addr, desc, data)
+                             : ctrl_->writePage(addr, desc);
+    stats_.flashBusyTime += lat;
+
+    e.lba = lba;
+    e.state = PageState::Valid;
+    e.accessCount = access_count;
+    e.dirty = dirty;
+
+    FbstEntry& fb = fbst_[addr.block];
+    ++fb.validPages;
+    ++regions_[regionOf(addr.block)].validCount;
+    return lat;
+}
+
+void
+FlashCache::invalidatePage(std::uint64_t id, bool drop_mapping)
+{
+    FpstEntry& e = fpst_[id];
+    if (e.state != PageState::Valid)
+        panic("invalidatePage on non-valid page");
+    if (drop_mapping)
+        fcht_.erase(e.lba);
+    e.state = PageState::Invalid;
+    e.dirty = false;
+
+    const std::uint32_t block = blockOf(id);
+    FbstEntry& fb = fbst_[block];
+    --fb.validPages;
+    ++fb.invalidPages;
+    Region& reg = regions_[regionOf(block)];
+    --reg.validCount;
+    ++reg.invalidCount;
+}
+
+void
+FlashCache::eraseBlockTracked(std::uint32_t block, Seconds& time_sink)
+{
+    FlashDevice& dev = ctrl_->device();
+    FbstEntry& fb = fbst_[block];
+    Region& reg = regions_[regionOf(block)];
+
+    if (fb.validPages != 0)
+        panic("erasing block with live pages");
+
+    const Seconds lat = ctrl_->eraseBlock(block);
+    stats_.flashBusyTime += lat;
+    time_sink += lat;
+
+    // Reconcile the FPST with the (possibly changed) frame modes and
+    // refresh the block's density statistics.
+    std::uint16_t slc = 0;
+    for (std::uint16_t f = 0; f < framesPerBlock_; ++f) {
+        const DensityMode m = dev.frameMode(block, f);
+        if (m == DensityMode::SLC)
+            ++slc;
+        for (std::uint8_t sub = 0; sub < 2; ++sub) {
+            FpstEntry& e = fpst_[pageId({block, f, sub})];
+            e.state = PageState::Free;
+            e.lba = kInvalidLba;
+            e.dirty = false;
+            e.accessCount = 0;
+            e.mode = m;
+        }
+    }
+    fb.slcFrames = slc;
+    reg.invalidCount -= fb.invalidPages;
+    fb.invalidPages = 0;
+}
+
+ControllerReadResult
+FlashCache::readWithRetry(const PageAddress& addr,
+                          const PageDescriptor& desc, std::uint8_t* out)
+{
+    ControllerReadResult res = out
+        ? ctrl_->readPageReal(addr, desc, out)
+        : ctrl_->readPage(addr, desc);
+    stats_.flashBusyTime += res.latency;
+    if (res.status == ReadStatus::Uncorrectable &&
+        ctrl_->device().hardErrors(addr) <= desc.eccStrength) {
+        // Transient flips pushed the word past the code strength;
+        // the driver re-reads before giving the page up.
+        const ControllerReadResult retry = out
+            ? ctrl_->readPageReal(addr, desc, out)
+            : ctrl_->readPage(addr, desc);
+        stats_.flashBusyTime += retry.latency;
+        const Seconds first = res.latency;
+        res = retry;
+        res.latency += first;
+    }
+    return res;
+}
+
+std::optional<std::uint64_t>
+FlashCache::relocatePage(std::uint64_t id, bool want_slc,
+                         Seconds& time_sink)
+{
+    FpstEntry& e = fpst_[id];
+    const PageAddress addr = addressOf(id);
+
+    PageDescriptor desc;
+    desc.eccStrength = e.eccStrength;
+    desc.mode = e.mode;
+
+    std::vector<std::uint8_t> buf;
+    if (config_.realData)
+        buf.resize(ctrl_->device().geometry().pageDataBytes);
+    const ControllerReadResult res = readWithRetry(
+        addr, desc, buf.empty() ? nullptr : buf.data());
+    time_sink += res.latency;
+
+    if (res.status == ReadStatus::Uncorrectable) {
+        // The copy is gone; a dirty page means real data loss.
+        ++stats_.uncorrectableReads;
+        if (e.dirty)
+            ++stats_.dataLossPages;
+        invalidatePage(id, true);
+        return std::nullopt;
+    }
+
+    const int region = regionOf(addr.block);
+    const auto slot = allocateSlot(region, want_slc, true);
+    if (!slot)
+        return std::nullopt;
+
+    const Lba lba = e.lba;
+    const bool dirty = e.dirty;
+    const std::uint8_t count = e.accessCount;
+
+    invalidatePage(id, false); // mapping moves, not dropped
+    const Seconds wlat = installPage(*slot, lba, dirty, count,
+                                     buf.empty() ? nullptr : buf.data());
+    time_sink += wlat;
+    fcht_.update(lba, *slot);
+    ++stats_.gcPageCopies;
+    return slot;
+}
+
+bool
+FlashCache::garbageCollect(int region)
+{
+    Region& reg = regions_[region];
+
+    // Paper section 5.1: only worth reclaiming when a whole block's
+    // worth of invalid pages exists somewhere in the region (a
+    // mostly-MLC block holds two pages per frame).
+    if (reg.invalidCount < 2ull * framesPerBlock_)
+        return false;
+
+    std::uint32_t victim = kNoBlock;
+    std::uint16_t best = 0;
+    for (const std::uint32_t b : reg.lruBlocks) {
+        if (fbst_[b].invalidPages > best) {
+            best = fbst_[b].invalidPages;
+            victim = b;
+        }
+    }
+    if (victim == kNoBlock)
+        return false;
+
+    // A victim that is mostly valid costs more page copies than the
+    // space it frees is worth; let the caller evict (flush) instead.
+    if (static_cast<double>(best) <
+        config_.gcMinInvalidFraction * blockPageSlots(victim)) {
+        return false;
+    }
+
+    // Section 3.6 applies wear-leveling to "capacity writes" — the
+    // out-of-place writes whose reclamation erases blocks — so the
+    // GC victim is also checked against the globally newest block.
+    if (config_.wearLeveling && tryWearSwap(victim))
+        return true;
+
+    ++stats_.gcRuns;
+    // Relocate every valid page, then erase.
+    for (std::uint16_t f = 0; f < framesPerBlock_; ++f) {
+        for (std::uint8_t sub = 0; sub < 2; ++sub) {
+            const std::uint64_t id = pageId({victim, f, sub});
+            if (fpst_[id].state != PageState::Valid)
+                continue;
+            const bool keep_slc = fpst_[id].mode == DensityMode::SLC;
+            const auto moved = relocatePage(id, keep_slc, stats_.gcTime);
+            if (!moved && fpst_[id].state == PageState::Valid) {
+                // Out of space: flush (if dirty) and drop instead.
+                if (fpst_[id].dirty)
+                    flushPage(id, stats_.gcTime);
+                invalidatePage(id, true);
+            }
+        }
+    }
+    reg.lruBlocks.erase(victim);
+    eraseBlockTracked(victim, stats_.gcTime);
+    ++stats_.gcErases;
+    reg.freeBlocks.push_back(victim);
+    return true;
+}
+
+void
+FlashCache::reclaimBlock(std::uint32_t block, bool flush_dirty,
+                         Seconds& time_sink)
+{
+    for (std::uint16_t f = 0; f < framesPerBlock_; ++f) {
+        for (std::uint8_t sub = 0; sub < 2; ++sub) {
+            const std::uint64_t id = pageId({block, f, sub});
+            FpstEntry& e = fpst_[id];
+            if (e.state != PageState::Valid)
+                continue;
+            if (e.dirty && flush_dirty)
+                flushPage(id, time_sink);
+            invalidatePage(id, true);
+        }
+    }
+    eraseBlockTracked(block, time_sink);
+}
+
+bool
+FlashCache::evictBlock(int region)
+{
+    Region& reg = regions_[region];
+    if (reg.lruBlocks.empty())
+        return false;
+
+    std::uint32_t victim = reg.lruBlocks.lru();
+
+    if (config_.wearLeveling && tryWearSwap(victim))
+        return true;
+
+    ++stats_.evictions;
+    reg.lruBlocks.erase(victim);
+    reclaimBlock(victim, true, stats_.evictionTime);
+    reg.freeBlocks.push_back(victim);
+    return true;
+}
+
+bool
+FlashCache::tryWearSwap(std::uint32_t victim)
+{
+    // Section 3.6: if the chosen victim is much more worn than the
+    // globally newest block, migrate the newest block's content into
+    // the victim and evict (erase) the newest block instead.
+    const FlashDevice& dev = ctrl_->device();
+    std::uint32_t newest = kNoBlock;
+    double newest_wear = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < 2; ++r) {
+        for (const std::uint32_t b : regions_[r].lruBlocks) {
+            const double w = fbst_[b].wearOut(dev.blockEraseCount(b),
+                                              config_.wearK1,
+                                              config_.wearK2);
+            if (w < newest_wear) {
+                newest_wear = w;
+                newest = b;
+            }
+        }
+    }
+    const double victim_wear = fbst_[victim].wearOut(
+        dev.blockEraseCount(victim), config_.wearK1, config_.wearK2);
+    if (newest == kNoBlock || newest == victim ||
+        victim_wear - newest_wear <= config_.wearThreshold) {
+        return false;
+    }
+    wearLevelSwap(victim, newest);
+    return true;
+}
+
+void
+FlashCache::wearLevelSwap(std::uint32_t victim, std::uint32_t newest)
+{
+    // Evict the victim's content, migrate the newest (coldest-wear)
+    // block's content into the now-empty victim, then hand the
+    // freshly erased newest block to the victim's region.
+    const int victim_region = regionOf(victim);
+    const int newest_region = regionOf(newest);
+    Region& vreg = regions_[victim_region];
+    Region& nreg = regions_[newest_region];
+
+    ++stats_.evictions;
+    ++stats_.wearMigrations;
+
+    vreg.lruBlocks.erase(victim);
+    reclaimBlock(victim, true, stats_.evictionTime);
+
+    // Copy newest's valid pages into the victim block sequentially.
+    Region::Cursor cur{victim, 0, 0};
+    bool space = true;
+    for (std::uint16_t f = 0; f < framesPerBlock_; ++f) {
+        for (std::uint8_t sub = 0; sub < 2; ++sub) {
+            const std::uint64_t id = pageId({newest, f, sub});
+            FpstEntry& e = fpst_[id];
+            if (e.state != PageState::Valid)
+                continue;
+
+            std::uint64_t dst = 0;
+            bool have = false;
+            while (space) {
+                if (cur.frame >= framesPerBlock_) {
+                    space = false;
+                    break;
+                }
+                const std::uint64_t cand = pageId(
+                    {victim, cur.frame, cur.sub});
+                cursorNext(cur);
+                if (fpst_[cand].state == PageState::Free) {
+                    dst = cand;
+                    have = true;
+                    break;
+                }
+            }
+
+            PageDescriptor desc;
+            desc.eccStrength = e.eccStrength;
+            desc.mode = e.mode;
+            std::vector<std::uint8_t> buf;
+            if (config_.realData)
+                buf.resize(ctrl_->device().geometry().pageDataBytes);
+            const auto res = readWithRetry(
+                addressOf(id), desc, buf.empty() ? nullptr : buf.data());
+            stats_.evictionTime += res.latency;
+
+            if (res.status == ReadStatus::Uncorrectable || !have) {
+                // Flush dirty data rather than lose it; clean pages
+                // just drop (they are cache copies).
+                if (res.status == ReadStatus::Uncorrectable) {
+                    ++stats_.uncorrectableReads;
+                    if (e.dirty)
+                        ++stats_.dataLossPages;
+                } else if (e.dirty) {
+                    stats_.evictionTime += config_.realData
+                        ? payloadStore_->writeData(e.lba, buf.data())
+                        : store_->write(e.lba);
+                    ++stats_.evictionFlushes;
+                }
+                invalidatePage(id, true);
+                continue;
+            }
+
+            const Lba lba = e.lba;
+            const bool dirty = e.dirty;
+            const std::uint8_t count = e.accessCount;
+            invalidatePage(id, false);
+            stats_.evictionTime += installPage(
+                dst, lba, dirty, count,
+                buf.empty() ? nullptr : buf.data());
+            fcht_.update(lba, dst);
+            ++stats_.gcPageCopies;
+        }
+    }
+
+    // The victim block (now holding the migrated content) joins the
+    // newest block's region as the most recently used block.
+    nreg.lruBlocks.erase(newest);
+    eraseBlockTracked(newest, stats_.evictionTime);
+
+    // One block moves each way, so ownedBlocks is conserved; the
+    // victim's freshly installed pages move to the new owner's
+    // counters (they were accounted under the old region above).
+    fbst_[victim].region = static_cast<std::int8_t>(newest_region);
+    fbst_[newest].region = static_cast<std::int8_t>(victim_region);
+    if (victim_region != newest_region) {
+        vreg.validCount -= fbst_[victim].validPages;
+        nreg.validCount += fbst_[victim].validPages;
+        vreg.invalidCount -= fbst_[victim].invalidPages;
+        nreg.invalidCount += fbst_[victim].invalidPages;
+    }
+    nreg.lruBlocks.touch(victim);
+    vreg.freeBlocks.push_back(newest);
+}
+
+void
+FlashCache::retireBlock(std::uint32_t block)
+{
+    const int r = regionOf(block);
+    Region& reg = regions_[r];
+
+    // A cursor block cannot be retired in place; reset the cursor.
+    for (auto& cur : reg.cursor) {
+        if (cur.block == block)
+            cur.block = kNoBlock;
+    }
+    reg.lruBlocks.erase(block);
+    std::erase(reg.freeBlocks, block);
+
+    reclaimBlock(block, true, stats_.evictionTime);
+    fbst_[block].retired = true;
+    fbst_[block].region = -1;
+    --reg.ownedBlocks;
+    ++stats_.retiredBlocks;
+}
+
+double
+FlashCache::pageAccessFreq(const FpstEntry& e) const
+{
+    const double denom = static_cast<double>(
+        std::max<std::uint64_t>(windowReads_, 256));
+    return std::min(1.0, static_cast<double>(e.accessCount) / denom);
+}
+
+void
+FlashCache::maybeReconfigure(std::uint64_t id,
+                             const ControllerReadResult& res)
+{
+    FpstEntry& e = fpst_[id];
+
+    // Trigger 1 (section 5.2.1): the corrected-error count reached
+    // the page's code strength — the next failing cell would be
+    // unrecoverable, so reconfigure now. The paper requires errors
+    // that "fail consistently due to wear out": transient (soft)
+    // flips must not permanently reconfigure the page, so the
+    // persistent error count is confirmed against the medium.
+    if (config_.adaptiveReconfig && res.status == ReadStatus::Corrected &&
+        res.correctedBits >= e.eccStrength &&
+        ctrl_->device().hardErrors(addressOf(id)) >= e.eccStrength) {
+        ReconfigInputs in;
+        in.pageAccessFreq = pageAccessFreq(e);
+        in.missRate = stats_.fgst.recentMissRate();
+        in.missPenalty = stats_.fgst.missPenalty.count()
+            ? stats_.fgst.avgMissPenalty() : milliseconds(4.2);
+        in.hitLatency = stats_.fgst.avgHitLatency();
+        in.deltaCodeDelay =
+            ctrl_->decodeLatency(std::min<unsigned>(e.eccStrength + 1,
+                                                    config_.maxEccStrength))
+            - ctrl_->decodeLatency(e.eccStrength);
+        const FlashTiming& t = ctrl_->device().timing();
+        in.deltaSlcGain = t.mlcReadLatency - t.slcReadLatency;
+        // The miss cost of losing one page of capacity depends on
+        // how alive the capacity margin is: scale the per-page miss
+        // share by the fraction of hits still landing on cold pages
+        // (near zero for short-tailed workloads whose tail is dead).
+        in.deltaMiss = in.missRate *
+            (4.0 * stats_.fgst.marginalHitFraction()) /
+            static_cast<double>(std::max<std::uint64_t>(capacityPages(),
+                                                        1));
+        in.canIncreaseEcc = e.eccStrength < config_.maxEccStrength;
+        in.canSwitchToSlc = e.mode == DensityMode::MLC;
+
+        const ReconfigCosts costs = ReconfigPolicy::costs(in);
+        stats_.faultPageFreq.add(in.pageAccessFreq);
+        stats_.faultEccCost.add(costs.strongerEcc);
+        stats_.faultDensityCost.add(costs.densitySwitch);
+
+        switch (ReconfigPolicy::onFaultIncrease(in)) {
+          case ReconfigDecision::IncreaseEcc:
+            ++e.eccStrength;
+            ++fbst_[blockOf(id)].totalEcc;
+            ++stats_.eccReconfigs;
+            ++stats_.policyEccChoices;
+            break;
+          case ReconfigDecision::SwitchToSlc: {
+            const PageAddress addr = addressOf(id);
+            ctrl_->device().requestFrameMode(addr.block, addr.frame,
+                                             DensityMode::SLC);
+            const auto moved = relocatePage(id, true,
+                                            stats_.reconfigTime);
+            ++stats_.densityReconfigs;
+            ++stats_.policyDensityChoices;
+            if (!moved && fpst_[id].state == PageState::Valid &&
+                e.eccStrength < config_.maxEccStrength) {
+                // No SLC slot available; fall back to stronger ECC.
+                ++e.eccStrength;
+                ++fbst_[blockOf(id)].totalEcc;
+            }
+            return; // id may be stale after relocation
+          }
+          case ReconfigDecision::RetireBlock:
+            retireBlock(blockOf(id));
+            return;
+        }
+    }
+
+    // Trigger 2 (section 5.2.2): the access counter saturated on an
+    // MLC page — migrate it to a fast SLC page.
+    if (config_.hotPageMigration && e.mode == DensityMode::MLC &&
+        e.accessCount >= config_.accessSaturation) {
+        const auto moved = relocatePage(id, true, stats_.reconfigTime);
+        if (moved)
+            ++stats_.hotMigrations;
+    }
+}
+
+void
+FlashCache::maybeAge()
+{
+    if (++readsSinceAging_ < config_.agingWindow)
+        return;
+    readsSinceAging_ = 0;
+    for (FpstEntry& e : fpst_)
+        e.accessCount = static_cast<std::uint8_t>(e.accessCount >> 1);
+    windowReads_ >>= 1;
+}
+
+CacheAccessResult
+FlashCache::read(Lba lba)
+{
+    return readImpl(lba, nullptr);
+}
+
+CacheAccessResult
+FlashCache::readData(Lba lba, std::uint8_t* data)
+{
+    if (!config_.realData)
+        fatal("readData requires realData mode");
+    return readImpl(lba, data);
+}
+
+CacheAccessResult
+FlashCache::readImpl(Lba lba, std::uint8_t* data)
+{
+    maybeAge();
+    ++windowReads_;
+
+    CacheAccessResult out;
+    const std::uint64_t id = fcht_.find(lba);
+
+    if (id != Fcht::npos && fpst_[id].state == PageState::Valid) {
+        FpstEntry& e = fpst_[id];
+        const PageAddress addr = addressOf(id);
+        PageDescriptor desc;
+        desc.eccStrength = e.eccStrength;
+        desc.mode = e.mode;
+
+        const ControllerReadResult res = readWithRetry(addr, desc, data);
+
+        if (res.status != ReadStatus::Uncorrectable) {
+            stats_.fgst.recordHitPageCount(e.accessCount);
+            if (e.accessCount < 255)
+                ++e.accessCount;
+            Region& reg = regions_[regionOf(addr.block)];
+            if (reg.lruBlocks.contains(addr.block))
+                reg.lruBlocks.touch(addr.block);
+
+            stats_.fgst.recordRead(true);
+            stats_.fgst.hitLatency.add(res.latency);
+            out.hit = true;
+            out.latency = res.latency;
+            maybeReconfigure(id, res);
+            return out;
+        }
+
+        // Uncorrectable: the cached copy is lost; fall back to disk.
+        ++stats_.uncorrectableReads;
+        const bool was_dirty = e.dirty;
+        invalidatePage(id, true);
+        if (was_dirty)
+            ++stats_.dataLossPages;
+        out.latency += res.latency;
+        const bool persistent = ctrl_->device().hardErrors(addr) >
+            desc.eccStrength;
+        if (!persistent) {
+            // A freak transient double-failure: the medium itself is
+            // fine, so no descriptor change is warranted.
+        } else if (config_.adaptiveReconfig) {
+            // Make the slot safer before its next use.
+            if (e.eccStrength < config_.maxEccStrength) {
+                ++e.eccStrength;
+                ++fbst_[blockOf(id)].totalEcc;
+                ++stats_.eccReconfigs;
+            } else if (e.mode == DensityMode::MLC) {
+                ctrl_->device().requestFrameMode(addr.block, addr.frame,
+                                                 DensityMode::SLC);
+                ++stats_.densityReconfigs;
+            } else {
+                retireBlock(addr.block);
+            }
+        } else {
+            // Fixed-strength controller (Figure 12's BCH-1
+            // baseline): a page that fails at the only available
+            // strength is permanently unusable, so the block is
+            // removed (section 5.2).
+            retireBlock(addr.block);
+        }
+    }
+
+    // Miss path: fetch from disk and fill the read region.
+    stats_.fgst.recordRead(false);
+    const Seconds penalty = data ? payloadStore_->readData(lba, data)
+                                 : store_->read(lba);
+    stats_.fgst.missPenalty.add(penalty);
+    out.latency += penalty;
+
+    const int fill_region = kRead;
+    auto slot = allocateSlot(fill_region, false, false);
+    for (int attempt = 0; !slot && attempt < 4; ++attempt) {
+        if (!garbageCollectIfUseful(fill_region) &&
+            !evictBlock(fill_region)) {
+            break;
+        }
+        slot = allocateSlot(fill_region, false, false);
+    }
+    if (slot) {
+        installPage(*slot, lba, false, 1, data);
+        fcht_.insert(lba, *slot);
+        replenishReserve(fill_region);
+    }
+    return out;
+}
+
+void
+FlashCache::replenishReserve(int region)
+{
+    if (regions_[region].freeBlocks.size() <= 1)
+        garbageCollect(region);
+}
+
+bool
+FlashCache::garbageCollectIfUseful(int region)
+{
+    // The read region only GCs once enough invalid pages accumulated
+    // (capacity below the configured threshold, section 5.1).
+    const Region& reg = regions_[region];
+    const double total = static_cast<double>(reg.ownedBlocks) *
+        framesPerBlock_ * 2;
+    if (total <= 0)
+        return false;
+    if (static_cast<double>(reg.invalidCount) / total <
+        config_.readGcInvalidFraction) {
+        return false;
+    }
+    return garbageCollect(region);
+}
+
+CacheAccessResult
+FlashCache::write(Lba lba)
+{
+    return writeImpl(lba, nullptr);
+}
+
+CacheAccessResult
+FlashCache::writeData(Lba lba, const std::uint8_t* data)
+{
+    if (!config_.realData)
+        fatal("writeData requires realData mode");
+    return writeImpl(lba, data);
+}
+
+CacheAccessResult
+FlashCache::writeImpl(Lba lba, const std::uint8_t* data)
+{
+    CacheAccessResult out;
+    const int wr = config_.splitRegions ? kWrite : kRead;
+
+    const std::uint64_t id = fcht_.find(lba);
+    bool invalidated_in_read = false;
+    std::uint8_t carried_count = 1;
+    if (id != Fcht::npos && fpst_[id].state == PageState::Valid) {
+        out.hit = true;
+        stats_.fgst.writes.hit();
+        const int old_region = regionOf(blockOf(id));
+        invalidated_in_read = old_region == kRead && config_.splitRegions;
+        // The page's access history survives the out-of-place
+        // update; a frequently rewritten page is "frequently
+        // accessed" for the section 5.2 heuristics too.
+        if (fpst_[id].accessCount < 255)
+            carried_count = fpst_[id].accessCount + 1;
+        else
+            carried_count = 255;
+        invalidatePage(id, true);
+    } else {
+        stats_.fgst.writes.miss();
+    }
+
+    auto slot = allocateSlot(wr, false, false);
+    for (int attempt = 0; !slot && attempt < 6; ++attempt) {
+        // Section 5.1: GC is the common case; eviction only when a
+        // block's worth of invalid pages does not exist.
+        if (!garbageCollect(wr) && !evictBlock(wr))
+            break;
+        slot = allocateSlot(wr, false, false);
+    }
+    if (!slot)
+        fatal("write region out of space and unreclaimable");
+
+    out.latency += installPage(*slot, lba, true, carried_count, data);
+    fcht_.insert(lba, *slot);
+
+    // Keep a one-block reserve so the next GC has somewhere to
+    // relocate valid pages to (GC itself is still on-demand: it
+    // only runs when a block's worth of invalid pages exists).
+    replenishReserve(wr);
+
+    // Out-of-place writes eat read-region capacity; compact when the
+    // invalid fraction passes the threshold (section 5.1).
+    if (invalidated_in_read)
+        garbageCollectIfUseful(kRead);
+
+    return out;
+}
+
+bool
+FlashCache::flushPage(std::uint64_t id, Seconds& time_sink)
+{
+    // Flushing means reading the flash copy first; an unreadable
+    // dirty page is lost for real.
+    FpstEntry& e = fpst_[id];
+    PageDescriptor desc;
+    desc.eccStrength = e.eccStrength;
+    desc.mode = e.mode;
+
+    std::vector<std::uint8_t> buf;
+    if (config_.realData)
+        buf.resize(ctrl_->device().geometry().pageDataBytes);
+    const auto res = readWithRetry(addressOf(id), desc,
+                                   buf.empty() ? nullptr : buf.data());
+    time_sink += res.latency;
+    if (res.status == ReadStatus::Uncorrectable) {
+        ++stats_.uncorrectableReads;
+        ++stats_.dataLossPages;
+        return false;
+    }
+    time_sink += config_.realData
+        ? payloadStore_->writeData(e.lba, buf.data())
+        : store_->write(e.lba);
+    ++stats_.evictionFlushes;
+    return true;
+}
+
+void
+FlashCache::flushAll()
+{
+    for (std::uint64_t id = 0; id < fpst_.size(); ++id) {
+        FpstEntry& e = fpst_[id];
+        if (e.state == PageState::Valid && e.dirty) {
+            if (flushPage(id, stats_.evictionTime))
+                e.dirty = false;
+            else
+                invalidatePage(id, true); // unreadable: lost
+        }
+    }
+}
+
+std::uint64_t
+FlashCache::capacityPages() const
+{
+    std::uint64_t pages = 0;
+    for (std::uint32_t b = 0; b < numBlocks_; ++b) {
+        if (!fbst_[b].retired)
+            pages += blockPageSlots(b);
+    }
+    return pages;
+}
+
+std::uint64_t
+FlashCache::validPages() const
+{
+    return regions_[0].validCount + regions_[1].validCount;
+}
+
+std::uint64_t
+FlashCache::invalidPages() const
+{
+    return regions_[0].invalidCount + regions_[1].invalidCount;
+}
+
+double
+FlashCache::occupancy() const
+{
+    const std::uint64_t cap = capacityPages();
+    return cap ? static_cast<double>(validPages()) /
+        static_cast<double>(cap) : 0.0;
+}
+
+std::uint32_t
+FlashCache::liveBlocks() const
+{
+    return numBlocks_ - static_cast<std::uint32_t>(stats_.retiredBlocks);
+}
+
+bool
+FlashCache::failed() const
+{
+    if (config_.splitRegions) {
+        return regions_[kRead].ownedBlocks < 2 ||
+            regions_[kWrite].ownedBlocks < 2;
+    }
+    return regions_[kRead].ownedBlocks < 2;
+}
+
+double
+FlashCache::gcOverheadFraction() const
+{
+    return stats_.flashBusyTime > 0.0
+        ? stats_.gcTime / stats_.flashBusyTime : 0.0;
+}
+
+const FpstEntry&
+FlashCache::fpstEntry(std::uint64_t page_id) const
+{
+    return fpst_.at(page_id);
+}
+
+void
+FlashCache::checkInvariants() const
+{
+    std::uint64_t valid = 0, invalid = 0;
+    std::vector<std::uint64_t> per_block_valid(numBlocks_, 0);
+    std::vector<std::uint64_t> per_block_invalid(numBlocks_, 0);
+    for (std::uint64_t id = 0; id < fpst_.size(); ++id) {
+        const FpstEntry& e = fpst_[id];
+        if (e.state == PageState::Valid) {
+            ++valid;
+            ++per_block_valid[blockOf(id)];
+            if (fcht_.find(e.lba) != id)
+                panic("FCHT does not map a valid page's LBA back");
+        } else if (e.state == PageState::Invalid) {
+            ++invalid;
+            ++per_block_invalid[blockOf(id)];
+        }
+    }
+    if (valid != validPages())
+        panic("valid page count mismatch");
+    if (invalid != invalidPages())
+        panic("invalid page count mismatch");
+    for (std::uint32_t b = 0; b < numBlocks_; ++b) {
+        if (per_block_valid[b] != fbst_[b].validPages)
+            panic("FBST valid count mismatch");
+        if (per_block_invalid[b] != fbst_[b].invalidPages)
+            panic("FBST invalid count mismatch");
+    }
+    if (fcht_.size() != valid)
+        panic("FCHT size != valid pages");
+}
+
+
+void
+FlashCache::saveState(std::ostream& os) const
+{
+    putMagic(os, "FCCHE001");
+    putScalar<std::uint32_t>(os, numBlocks_);
+    putScalar<std::uint32_t>(os, framesPerBlock_);
+    putScalar<std::uint8_t>(os, config_.splitRegions ? 1 : 0);
+
+    for (const FpstEntry& e : fpst_) {
+        putScalar<std::uint64_t>(os, e.lba);
+        putScalar<std::uint8_t>(os, static_cast<std::uint8_t>(e.state));
+        putScalar<std::uint8_t>(os, e.eccStrength);
+        putScalar<std::uint8_t>(os, static_cast<std::uint8_t>(e.mode));
+        putScalar<std::uint8_t>(os, e.accessCount);
+        putScalar<std::uint8_t>(os, e.dirty ? 1 : 0);
+    }
+    for (const FbstEntry& b : fbst_) {
+        putScalar<std::uint32_t>(os, b.totalEcc);
+        putScalar<std::uint16_t>(os, b.slcFrames);
+        putScalar<std::uint16_t>(os, b.validPages);
+        putScalar<std::uint16_t>(os, b.invalidPages);
+        putScalar<std::uint8_t>(os, b.retired ? 1 : 0);
+        putScalar<std::int8_t>(os, b.region);
+    }
+    for (const Region& reg : regions_) {
+        putVector(os, reg.freeBlocks);
+        std::vector<std::uint32_t> lru(reg.lruBlocks.begin(),
+                                       reg.lruBlocks.end());
+        putVector(os, lru);
+        for (const auto& cur : reg.cursor) {
+            putScalar<std::uint32_t>(os, cur.block);
+            putScalar<std::uint16_t>(os, cur.frame);
+            putScalar<std::uint8_t>(os, cur.sub);
+        }
+        putScalar<std::uint32_t>(os, reg.ownedBlocks);
+        putScalar<std::uint64_t>(os, reg.validCount);
+        putScalar<std::uint64_t>(os, reg.invalidCount);
+    }
+    putScalar<std::uint64_t>(os, windowReads_);
+}
+
+void
+FlashCache::loadState(std::istream& is)
+{
+    expectMagic(is, "FCCHE001");
+    if (getScalar<std::uint32_t>(is) != numBlocks_ ||
+        getScalar<std::uint32_t>(is) != framesPerBlock_) {
+        fatal("cache state file geometry mismatch");
+    }
+    if ((getScalar<std::uint8_t>(is) != 0) != config_.splitRegions)
+        fatal("cache state file split-mode mismatch");
+
+    for (FpstEntry& e : fpst_) {
+        e.lba = getScalar<std::uint64_t>(is);
+        e.state = static_cast<PageState>(getScalar<std::uint8_t>(is));
+        e.eccStrength = getScalar<std::uint8_t>(is);
+        e.mode = static_cast<DensityMode>(getScalar<std::uint8_t>(is));
+        e.accessCount = getScalar<std::uint8_t>(is);
+        e.dirty = getScalar<std::uint8_t>(is) != 0;
+    }
+    for (FbstEntry& b : fbst_) {
+        b.totalEcc = getScalar<std::uint32_t>(is);
+        b.slcFrames = getScalar<std::uint16_t>(is);
+        b.validPages = getScalar<std::uint16_t>(is);
+        b.invalidPages = getScalar<std::uint16_t>(is);
+        b.retired = getScalar<std::uint8_t>(is) != 0;
+        b.region = getScalar<std::int8_t>(is);
+    }
+    for (Region& reg : regions_) {
+        reg.freeBlocks = getVector<std::uint32_t>(is);
+        const auto lru = getVector<std::uint32_t>(is);
+        reg.lruBlocks.clear();
+        // Saved MRU-first; rebuild by inserting coldest-first.
+        for (auto it = lru.rbegin(); it != lru.rend(); ++it)
+            reg.lruBlocks.touch(*it);
+        for (auto& cur : reg.cursor) {
+            cur.block = getScalar<std::uint32_t>(is);
+            cur.frame = getScalar<std::uint16_t>(is);
+            cur.sub = getScalar<std::uint8_t>(is);
+        }
+        reg.ownedBlocks = getScalar<std::uint32_t>(is);
+        reg.validCount = getScalar<std::uint64_t>(is);
+        reg.invalidCount = getScalar<std::uint64_t>(is);
+    }
+    windowReads_ = getScalar<std::uint64_t>(is);
+
+    // The FCHT is derived state: rebuild it from the FPST.
+    fcht_ = Fcht(config_.fchtBuckets != 0
+                     ? config_.fchtBuckets
+                     : std::max<std::size_t>(1024, fpst_.size() / 4));
+    for (std::uint64_t id = 0; id < fpst_.size(); ++id) {
+        if (fpst_[id].state == PageState::Valid)
+            fcht_.insert(fpst_[id].lba, id);
+    }
+    checkInvariants();
+}
+
+} // namespace flashcache

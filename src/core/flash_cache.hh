@@ -1,0 +1,400 @@
+/**
+ * @file
+ * The flash based disk cache — the paper's core contribution
+ * (sections 3 and 5).
+ *
+ * A software-managed secondary disk cache held in NAND flash behind
+ * a small DRAM primary disk cache (the PDC lives in the system
+ * simulator; this class manages the flash level). Key mechanisms:
+ *
+ *  - FCHT/FPST/FBST/FGST management tables in DRAM (section 3).
+ *  - Optional split into a read region and a write region
+ *    (default 90%/10%, section 3.5): reads fill the read region,
+ *    writes append out-of-place into the write-region log, and
+ *    garbage collection only ever scans the owning region's blocks.
+ *  - Background garbage collection (section 5.1): write-region GC
+ *    compacts the block with the most invalid pages; read-region GC
+ *    triggers when more than a configured fraction of the region is
+ *    invalid.
+ *  - Wear-level-aware replacement (section 3.6): LRU block eviction,
+ *    except when the victim's wear exceeds the globally newest
+ *    block's wear by a threshold — then the newest block's content
+ *    migrates into the old block and the newest block is evicted.
+ *  - Programmable-controller integration (section 5.2): pages whose
+ *    corrected-error count reaches their ECC strength are
+ *    reconfigured (stronger ECC vs MLC->SLC density drop, chosen by
+ *    the latency heuristics), read-hot MLC pages migrate to SLC on
+ *    access-counter saturation, and fully exhausted blocks retire.
+ */
+
+#ifndef FLASHCACHE_CORE_FLASH_CACHE_HH
+#define FLASHCACHE_CORE_FLASH_CACHE_HH
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "controller/memory_controller.hh"
+#include "controller/reconfig_policy.hh"
+#include "core/backing_store.hh"
+#include "core/lru.hh"
+#include "core/tables.hh"
+#include "util/types.hh"
+
+namespace flashcache {
+
+/** Tuning knobs; defaults follow the paper. */
+struct FlashCacheConfig
+{
+    /** Split read/write regions (section 3.5) vs unified baseline. */
+    bool splitRegions = true;
+
+    /** Fraction of blocks owned by the read region when split. */
+    double readRegionFraction = 0.9;
+
+    /** Enable the programmable controller responses of section 5.2;
+     *  off = fixed-strength baseline (Figure 12's "BCH-1"). */
+    bool adaptiveReconfig = true;
+
+    /** ECC strength newly formatted pages start with. */
+    std::uint8_t initialEccStrength = 1;
+
+    /** Hardware ECC limit (paper: 12 bits per 2 KB page). */
+    std::uint8_t maxEccStrength = 12;
+
+    /** Saturation point of the FPST access counter; a saturated MLC
+     *  page migrates to SLC (section 5.2.2). */
+    std::uint8_t accessSaturation = 64;
+
+    /** Allow hot-page MLC->SLC migration. */
+    bool hotPageMigration = true;
+
+    /** Wear-leveling on (section 3.6). */
+    bool wearLeveling = true;
+
+    /** Wear cost-function weights; k2 > k1 because a density switch
+     *  signals far more wear than an ECC bump (section 3.3). */
+    double wearK1 = 2.0;
+    double wearK2 = 40.0;
+
+    /** Evicting a block this much more worn than the newest block
+     *  triggers migration instead (erase-count-equivalents). */
+    double wearThreshold = 64.0;
+
+    /** Read-region GC triggers when its invalid-page fraction
+     *  exceeds this (capacity below 90%, section 5.1). */
+    double readGcInvalidFraction = 0.10;
+
+    /** GC only reclaims a block whose invalid fraction is at least
+     *  this; blocks full of cold valid pages are evicted (flushed)
+     *  instead of being copied forever. Set to 0 to emulate a
+     *  storage log that can never evict (Figure 1(b)'s regime). */
+    double gcMinInvalidFraction = 0.25;
+
+    /** FCHT bucket count (section 3.1 sweeps this); 0 sizes the
+     *  table to the flash capacity automatically. */
+    std::size_t fchtBuckets = 0;
+
+    /** Reads between access-counter aging sweeps (halving), which
+     *  keeps the relative-frequency estimate fresh. */
+    std::uint64_t agingWindow = 1ull << 18;
+
+    /** Real-data mode: page payloads move through the actual BCH +
+     *  CRC pipeline with physically injected bit errors. Requires a
+     *  store_data FlashDevice and a PayloadBackingStore; use
+     *  readData()/writeData() instead of read()/write(). */
+    bool realData = false;
+};
+
+/** Outcome of one cache-level access. */
+struct CacheAccessResult
+{
+    bool hit = false;
+    Seconds latency = 0.0;
+};
+
+/** Counters beyond the FGST. */
+struct FlashCacheStats
+{
+    Fgst fgst;
+
+    std::uint64_t gcRuns = 0;
+    std::uint64_t gcPageCopies = 0;
+    std::uint64_t gcErases = 0;
+    Seconds gcTime = 0.0;
+
+    std::uint64_t evictions = 0;
+    std::uint64_t evictionFlushes = 0;
+    Seconds evictionTime = 0.0;
+
+    std::uint64_t wearMigrations = 0;
+    std::uint64_t eccReconfigs = 0;
+    std::uint64_t densityReconfigs = 0;
+
+    /// @name Section 5.2.1 policy decisions only (Figure 11's
+    /// breakdown); the reconfig counters above also include the
+    /// forced responses to uncorrectable reads.
+    /// @{
+    std::uint64_t policyEccChoices = 0;
+    std::uint64_t policyDensityChoices = 0;
+    /// @}
+    std::uint64_t hotMigrations = 0;
+    std::uint64_t retiredBlocks = 0;
+
+    std::uint64_t uncorrectableReads = 0;
+    std::uint64_t dataLossPages = 0;
+
+    /// @name Diagnostics for the reconfiguration policy: the access
+    /// frequency of faulting pages and the two heuristic costs.
+    /// @{
+    RunningStat faultPageFreq;
+    RunningStat faultEccCost;
+    RunningStat faultDensityCost;
+    /// @}
+
+    Seconds reconfigTime = 0.0; ///< density/hot migration copy time
+    Seconds flashBusyTime = 0.0; ///< all flash op time incl. GC
+};
+
+/**
+ * The flash based disk cache.
+ */
+class FlashCache
+{
+  public:
+    /**
+     * @param controller Programmable flash memory controller.
+     * @param store      Backing disk.
+     * @param config     Policy knobs.
+     */
+    FlashCache(FlashMemoryController& controller, BackingStore& store,
+               const FlashCacheConfig& config = FlashCacheConfig());
+
+    /** Look up / fill one page read. */
+    CacheAccessResult read(Lba lba);
+
+    /** Accept one page write-back (out-of-place into the write
+     *  region; the disk is updated later by flush/eviction). */
+    CacheAccessResult write(Lba lba);
+
+    /** Real-data read: the page contents land in `out` (pageDataBytes
+     *  of the device geometry). Requires config.realData. */
+    CacheAccessResult readData(Lba lba, std::uint8_t* out);
+
+    /** Real-data write-back of one page's contents. */
+    CacheAccessResult writeData(Lba lba, const std::uint8_t* data);
+
+    /** Write every dirty page back to the disk. */
+    void flushAll();
+
+    const FlashCacheStats& stats() const { return stats_; }
+    const FlashCacheConfig& config() const { return config_; }
+    const Fcht& fcht() const { return fcht_; }
+
+    /** Total logical page slots at current density modes. */
+    std::uint64_t capacityPages() const;
+
+    std::uint64_t validPages() const;
+    std::uint64_t invalidPages() const;
+
+    /** Valid fraction of total capacity. */
+    double occupancy() const;
+
+    /** Blocks not yet retired. */
+    std::uint32_t liveBlocks() const;
+
+    /**
+     * True when so many blocks retired that the cache can no longer
+     * operate (Figure 12's "point of total Flash failure").
+     */
+    bool failed() const;
+
+    /** Fraction of flash busy time spent on GC work. */
+    double gcOverheadFraction() const;
+
+    /** Access the FPST entry of a page id (tests/benches). */
+    const FpstEntry& fpstEntry(std::uint64_t page_id) const;
+
+    /** Run invariant checks (tests); panics on violation. */
+    void checkInvariants() const;
+
+    /// @name Warm-restart persistence (section 3: the management
+    /// tables live on disk and load into DRAM at run time). The
+    /// FlashDevice state must be saved/loaded alongside; statistics
+    /// restart fresh. Geometry and split mode must match on load.
+    /// @{
+    void saveState(std::ostream& os) const;
+    void loadState(std::istream& is);
+    /// @}
+
+  private:
+    static constexpr int kRead = 0;
+    static constexpr int kWrite = 1;
+    static constexpr std::uint32_t kNoBlock = ~0u;
+
+    /** Per-region allocation and replacement state. */
+    struct Region
+    {
+        std::vector<std::uint32_t> freeBlocks;
+        LruList<std::uint32_t> lruBlocks; ///< filled, evictable
+        /** Append cursors: [0] general, [1] dedicated SLC. */
+        struct Cursor
+        {
+            std::uint32_t block = kNoBlock;
+            std::uint16_t frame = 0;
+            std::uint8_t sub = 0;
+        };
+        std::array<Cursor, 2> cursor;
+        std::uint32_t ownedBlocks = 0;
+        std::uint64_t validCount = 0;
+        std::uint64_t invalidCount = 0;
+    };
+
+    /// @name Page id <-> address mapping.
+    /// @{
+    std::uint64_t
+    pageId(const PageAddress& a) const
+    {
+        return (static_cast<std::uint64_t>(a.block) * framesPerBlock_ +
+                a.frame) * 2 + a.sub;
+    }
+
+    PageAddress
+    addressOf(std::uint64_t id) const
+    {
+        PageAddress a;
+        a.sub = static_cast<std::uint8_t>(id & 1);
+        const std::uint64_t fid = id >> 1;
+        a.frame = static_cast<std::uint16_t>(fid % framesPerBlock_);
+        a.block = static_cast<std::uint32_t>(fid / framesPerBlock_);
+        return a;
+    }
+
+    std::uint32_t
+    blockOf(std::uint64_t id) const
+    {
+        return static_cast<std::uint32_t>(id / (2 * framesPerBlock_));
+    }
+    /// @}
+
+    int regionOf(std::uint32_t block) const;
+
+    /** Pages a block can hold at its current frame modes. */
+    std::uint32_t blockPageSlots(std::uint32_t block) const;
+
+    /** Advance a cursor to its next free slot; false when the block
+     *  is exhausted. */
+    bool cursorNext(Region::Cursor& cur) const;
+
+    /**
+     * Allocate one page slot in a region.
+     *
+     * @param region     kRead or kWrite.
+     * @param want_slc   Use the dedicated SLC cursor.
+     * @param background Charge erase latency to gcTime.
+     * @return page id, or nullopt when the region is out of space.
+     */
+    std::optional<std::uint64_t> allocateSlot(int region, bool want_slc,
+                                              bool background);
+
+    /** Take a block from the free list (re-erasing it to SLC if the
+     *  SLC cursor asked and it isn't mostly SLC yet). */
+    std::optional<std::uint32_t> takeFreeBlock(int region, bool want_slc,
+                                               bool background);
+
+    /** Program a new valid page and wire up all tables; `data`
+     *  (real-data mode) routes through the real encoder. */
+    Seconds installPage(std::uint64_t id, Lba lba, bool dirty,
+                        std::uint8_t access_count,
+                        const std::uint8_t* data = nullptr);
+
+    /** Mark a valid page invalid (out-of-place supersede). */
+    void invalidatePage(std::uint64_t id, bool drop_mapping);
+
+    /** Garbage collect the region block with the most invalid pages.
+     *  @return true when a block was reclaimed. */
+    bool garbageCollect(int region);
+
+    /** Evict a block chosen by wear-aware LRU (section 3.6). */
+    bool evictBlock(int region);
+
+    /** Section 3.6 check used by eviction and GC: swap with the
+     *  globally newest block when the victim is too worn.
+     *  @return true when the swap happened (space was freed). */
+    bool tryWearSwap(std::uint32_t victim);
+
+    /** Section 3.6 migration: evict `newest` instead of `victim`,
+     *  moving its young content into the worn victim block. */
+    void wearLevelSwap(std::uint32_t victim, std::uint32_t newest);
+
+    /** GC the read region only past its invalid-fraction threshold. */
+    bool garbageCollectIfUseful(int region);
+
+    /** Keep a one-block reserve so GC relocation never starves. */
+    void replenishReserve(int region);
+
+    /** Flush or drop every valid page of a block, then erase it. */
+    void reclaimBlock(std::uint32_t block, bool flush_dirty,
+                      Seconds& time_sink);
+
+    /** Read a dirty page back and persist it to the backing store.
+     *  @return false when the copy was unreadable (data loss). */
+    bool flushPage(std::uint64_t id, Seconds& time_sink);
+
+    /** Erase + bookkeeping. */
+    void eraseBlockTracked(std::uint32_t block, Seconds& time_sink);
+
+    /** Read a page, re-reading once when a transient error spike
+     *  (not persistent wear) made the first attempt uncorrectable.
+     *  With `out` non-null (real-data mode) the payload goes through
+     *  the actual BCH pipeline into the buffer. */
+    ControllerReadResult readWithRetry(const PageAddress& addr,
+                                       const PageDescriptor& desc,
+                                       std::uint8_t* out = nullptr);
+
+    /** Shared read path; `out` selects the real-data pipeline. */
+    CacheAccessResult readImpl(Lba lba, std::uint8_t* out);
+
+    /** Shared write path; `data` selects the real-data pipeline. */
+    CacheAccessResult writeImpl(Lba lba, const std::uint8_t* data);
+
+    /** Copy one valid page elsewhere in its region (GC / wear
+     *  migration / density relocation). @return new page id. */
+    std::optional<std::uint64_t> relocatePage(std::uint64_t id,
+                                              bool want_slc,
+                                              Seconds& time_sink);
+
+    /** Apply section 5.2 triggers after a read hit. */
+    void maybeReconfigure(std::uint64_t id,
+                          const ControllerReadResult& res);
+
+    /** Retire a block whose pages exhausted ECC and density. */
+    void retireBlock(std::uint32_t block);
+
+    /** Periodic access-counter aging. */
+    void maybeAge();
+
+    double pageAccessFreq(const FpstEntry& e) const;
+
+    FlashMemoryController* ctrl_;
+    BackingStore* store_;
+    PayloadBackingStore* payloadStore_ = nullptr; ///< real-data mode
+    FlashCacheConfig config_;
+
+    std::uint32_t framesPerBlock_;
+    std::uint32_t numBlocks_;
+
+    Fcht fcht_;
+    std::vector<FpstEntry> fpst_;
+    std::vector<FbstEntry> fbst_;
+    std::array<Region, 2> regions_;
+
+    FlashCacheStats stats_;
+    std::uint64_t readsSinceAging_ = 0;
+    std::uint64_t windowReads_ = 0;
+};
+
+} // namespace flashcache
+
+#endif // FLASHCACHE_CORE_FLASH_CACHE_HH

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Generic O(1) LRU ordering used by the primary disk cache, the
+ * per-region block replacement lists, and the workload stack-
+ * distance analyzer.
+ */
+
+#ifndef FLASHCACHE_CORE_LRU_HH
+#define FLASHCACHE_CORE_LRU_HH
+
+#include <list>
+#include <unordered_map>
+
+#include "util/log.hh"
+
+namespace flashcache {
+
+/**
+ * An ordered set of keys where touch() moves a key to the MRU end
+ * and lru() reads the coldest key. All operations are O(1).
+ */
+template <typename Key>
+class LruList
+{
+  public:
+    bool empty() const { return order_.empty(); }
+    std::size_t size() const { return order_.size(); }
+
+    bool contains(const Key& k) const { return index_.count(k) != 0; }
+
+    /** Insert as MRU, or move an existing key to MRU. */
+    void
+    touch(const Key& k)
+    {
+        auto it = index_.find(k);
+        if (it != index_.end())
+            order_.erase(it->second);
+        order_.push_front(k);
+        index_[k] = order_.begin();
+    }
+
+    /** Insert as LRU (coldest) without affecting existing entries. */
+    void
+    insertCold(const Key& k)
+    {
+        auto it = index_.find(k);
+        if (it != index_.end())
+            order_.erase(it->second);
+        order_.push_back(k);
+        index_[k] = std::prev(order_.end());
+    }
+
+    /** Remove a key if present. @return true when it was present. */
+    bool
+    erase(const Key& k)
+    {
+        auto it = index_.find(k);
+        if (it == index_.end())
+            return false;
+        order_.erase(it->second);
+        index_.erase(it);
+        return true;
+    }
+
+    /** The least recently used key. @pre !empty() */
+    const Key&
+    lru() const
+    {
+        if (order_.empty())
+            panic("lru() on empty LruList");
+        return order_.back();
+    }
+
+    /** The most recently used key. @pre !empty() */
+    const Key&
+    mru() const
+    {
+        if (order_.empty())
+            panic("mru() on empty LruList");
+        return order_.front();
+    }
+
+    /** Remove and return the LRU key. @pre !empty() */
+    Key
+    popLru()
+    {
+        Key k = lru();
+        erase(k);
+        return k;
+    }
+
+    /** Iterate from MRU to LRU. */
+    auto begin() const { return order_.begin(); }
+    auto end() const { return order_.end(); }
+
+    void
+    clear()
+    {
+        order_.clear();
+        index_.clear();
+    }
+
+  private:
+    std::list<Key> order_;
+    std::unordered_map<Key, typename std::list<Key>::iterator> index_;
+};
+
+} // namespace flashcache
+
+#endif // FLASHCACHE_CORE_LRU_HH

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * The four DRAM-resident management tables of the flash based disk
+ * cache (paper section 3): FCHT, FPST, FBST and FGST. All four are
+ * kept in DRAM at run time to avoid flash wear from metadata churn;
+ * their combined overhead is ~2% of the flash size.
+ */
+
+#ifndef FLASHCACHE_CORE_TABLES_HH
+#define FLASHCACHE_CORE_TABLES_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "flash/geometry.hh"
+#include "util/stats.hh"
+#include "util/types.hh"
+
+namespace flashcache {
+
+/** Allocation state of one logical flash page. */
+enum class PageState : std::uint8_t
+{
+    Free,    ///< erased, available for programming
+    Valid,   ///< holds live cached data
+    Invalid, ///< superseded by an out-of-place write; awaits GC
+};
+
+/**
+ * Flash page status table entry (section 3.2): ECC strength,
+ * SLC/MLC mode, saturating access counter and valid bit — one per
+ * logical flash page. The ECC strength persists across page reuse
+ * because it reflects the physical wear of the underlying cells.
+ */
+struct FpstEntry
+{
+    Lba lba = kInvalidLba;
+    PageState state = PageState::Free;
+    std::uint8_t eccStrength = 1;
+    DensityMode mode = DensityMode::MLC;
+    std::uint8_t accessCount = 0;
+    bool dirty = false;
+};
+
+/**
+ * Flash block status table entry (section 3.3): erase count lives in
+ * the device; here we cache the per-block sums the wear-out cost
+ * function needs, plus region bookkeeping.
+ */
+struct FbstEntry
+{
+    std::uint32_t totalEcc = 0;   ///< sum of page ECC strengths
+    std::uint16_t slcFrames = 0;  ///< frames converted to SLC
+    std::uint16_t validPages = 0;
+    std::uint16_t invalidPages = 0;
+    bool retired = false;
+    std::int8_t region = -1;      ///< owning region, -1 = free pool
+
+    /**
+     * Degree of wear out (section 3.3):
+     * wear_i = N_erase,i + k1 * TotalECC,i + k2 * TotalSLC_MLC,i.
+     */
+    double
+    wearOut(std::uint32_t erase_count, double k1, double k2) const
+    {
+        return static_cast<double>(erase_count) + k1 * totalEcc +
+            k2 * slcFrames;
+    }
+};
+
+/**
+ * Flash global status table (section 3.4): summary statistics —
+ * miss rate and average latencies — that drive the reconfiguration
+ * heuristics of section 5.2.
+ */
+struct Fgst
+{
+    RatioStat reads;         ///< flash read hits vs misses
+    RatioStat writes;        ///< write updates vs fresh fills
+    RunningStat hitLatency;  ///< t_hit samples
+    RunningStat missPenalty; ///< t_miss samples
+
+    /** Record a read outcome in both the cumulative ratio and the
+     *  recency-weighted estimate the reconfiguration policy uses. */
+    void
+    recordRead(bool hit)
+    {
+        if (hit)
+            reads.hit();
+        else
+            reads.miss();
+        ewmaMiss_ += kEwmaGain * ((hit ? 0.0 : 1.0) - ewmaMiss_);
+    }
+
+    double
+    missRate() const
+    {
+        return reads.missRate();
+    }
+
+    /** Recency-weighted miss rate (time constant ~4k reads); a cold
+     *  warmup does not poison steady-state policy decisions. */
+    double
+    recentMissRate() const
+    {
+        return ewmaMiss_;
+    }
+
+    /** Record the FPST access count a hit page had before the hit;
+     *  hits on cold pages mean the capacity margin still earns hits
+     *  (long-tailed workload), hits concentrated on hot pages mean
+     *  the margin is dead (short-tailed workload). */
+    void
+    recordHitPageCount(std::uint8_t pre_count)
+    {
+        ewmaMarginal_ += kEwmaGain * ((pre_count <= 1 ? 1.0 : 0.0) -
+                                      ewmaMarginal_);
+    }
+
+    /** Recency-weighted fraction of hits landing on cold pages. */
+    double
+    marginalHitFraction() const
+    {
+        return ewmaMarginal_;
+    }
+
+    Seconds
+    avgHitLatency() const
+    {
+        return hitLatency.mean();
+    }
+
+    Seconds
+    avgMissPenalty() const
+    {
+        return missPenalty.mean();
+    }
+
+  private:
+    static constexpr double kEwmaGain = 1.0 / 4096.0;
+    double ewmaMiss_ = 0.5;
+    double ewmaMarginal_ = 0.5;
+};
+
+/**
+ * FlashCache hash table (section 3.1): maps disk LBAs to flash page
+ * ids. The paper organizes it as a fully associative table indexed
+ * by a hash; bucket count is configurable because the paper reports
+ * ~100 indexable entries already reach peak throughput. Probe
+ * lengths are tracked so the claim can be measured.
+ */
+class Fcht
+{
+  public:
+    static constexpr std::uint64_t npos = ~static_cast<std::uint64_t>(0);
+
+    explicit Fcht(std::size_t buckets = 4096);
+
+    /** Look up an LBA. @return page id or npos. */
+    std::uint64_t find(Lba lba) const;
+
+    /** Insert a mapping; the LBA must not already be present. */
+    void insert(Lba lba, std::uint64_t page_id);
+
+    /** Remove a mapping. @return true when it existed. */
+    bool erase(Lba lba);
+
+    /** Redirect an existing mapping to a new page id. */
+    void update(Lba lba, std::uint64_t page_id);
+
+    std::size_t size() const { return size_; }
+    std::size_t buckets() const { return buckets_.size(); }
+
+    /** Mean chain entries inspected per find() so far. */
+    double avgProbeLength() const;
+
+  private:
+    struct Entry
+    {
+        Lba lba;
+        std::uint64_t pageId;
+    };
+
+    std::size_t
+    bucketOf(Lba lba) const
+    {
+        // Multiplicative hash; buckets need not be a power of two.
+        return static_cast<std::size_t>(
+            (lba * 0x9E3779B97F4A7C15ull) >> 32) % buckets_.size();
+    }
+
+    std::vector<std::vector<Entry>> buckets_;
+    std::size_t size_ = 0;
+    mutable std::uint64_t lookups_ = 0;
+    mutable std::uint64_t probes_ = 0;
+};
+
+} // namespace flashcache
+
+#endif // FLASHCACHE_CORE_TABLES_HH

@@ -1,0 +1,35 @@
+#include "devices/disk.hh"
+
+namespace flashcache {
+
+DiskModel::DiskModel(const DiskSpec& spec, std::uint64_t seed)
+    : spec_(spec), rng_(seed)
+{
+}
+
+Seconds
+DiskModel::access(Lba lba, bool sequential)
+{
+    Seconds lat;
+    if (sequential || lba == lastLba_ + 1) {
+        // Head already positioned: rotational + transfer only.
+        lat = spec_.avgAccessLatency * 0.15;
+    } else {
+        // Spread seeks uniformly in [0.5, 1.5] x average so the mean
+        // matches the Table 3 figure.
+        lat = spec_.avgAccessLatency * rng_.uniform(0.5, 1.5);
+    }
+    lastLba_ = lba;
+    ++accesses_;
+    busy_ += lat;
+    return lat;
+}
+
+Joules
+DiskModel::energyOver(Seconds wall_clock) const
+{
+    const Seconds idle = wall_clock > busy_ ? wall_clock - busy_ : 0.0;
+    return busy_ * spec_.activePower + idle * spec_.idlePower;
+}
+
+} // namespace flashcache

@@ -1,0 +1,53 @@
+#include "devices/dram.hh"
+
+#include "util/log.hh"
+
+namespace flashcache {
+
+DramModel::DramModel(std::uint64_t capacity_bytes, const DramSpec& spec)
+    : capacity_(capacity_bytes), spec_(spec)
+{
+    if (capacity_bytes == 0)
+        fatal("DramModel with zero capacity");
+    devices_ = static_cast<unsigned>(
+        (capacity_bytes + spec.deviceBytes - 1) / spec.deviceBytes);
+}
+
+Seconds
+DramModel::access(std::uint64_t bytes) const
+{
+    // One row activate plus streaming transfer.
+    return spec_.rowCycle +
+        static_cast<double>(bytes) / kBandwidthBytesPerSec;
+}
+
+Seconds
+DramModel::read(std::uint64_t bytes)
+{
+    const Seconds lat = access(bytes);
+    readBusy_ += lat;
+    return lat;
+}
+
+Seconds
+DramModel::write(std::uint64_t bytes)
+{
+    const Seconds lat = access(bytes);
+    writeBusy_ += lat;
+    return lat;
+}
+
+DramEnergy
+DramModel::energyOver(Seconds wall_clock) const
+{
+    DramEnergy e;
+    // One device bursts at a time; the others stay at idle power,
+    // which the idle term below already covers for the whole span.
+    const Watts burst = spec_.activePower - spec_.idleActivePower;
+    e.read = readBusy_ * burst;
+    e.write = writeBusy_ * burst;
+    e.idle = wall_clock * spec_.idleActivePower * devices_;
+    return e;
+}
+
+} // namespace flashcache

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * DRAM model for the primary disk cache (PDC).
+ *
+ * The paper's Figure 9 splits system-memory power into read, write
+ * and idle components, so the model tracks read and write busy time
+ * separately. Power scales with the number of 1 Gb DDR2 devices
+ * needed for the configured capacity (Table 2/3: 878 mW active,
+ * 80 mW active-idle, 18 mW powerdown-idle per device; tRC = 50 ns).
+ */
+
+#ifndef FLASHCACHE_DEVICES_DRAM_HH
+#define FLASHCACHE_DEVICES_DRAM_HH
+
+#include <cstdint>
+
+#include "flash/flash_spec.hh"
+#include "util/types.hh"
+
+namespace flashcache {
+
+/** Energy breakdown over a wall-clock interval. */
+struct DramEnergy
+{
+    Joules read = 0.0;
+    Joules write = 0.0;
+    Joules idle = 0.0;
+
+    Joules total() const { return read + write + idle; }
+};
+
+/**
+ * Capacity-scaled DDR2 DRAM latency/power model.
+ */
+class DramModel
+{
+  public:
+    /**
+     * @param capacity_bytes Total DRAM size (1-4 "DIMMs" in Table 3).
+     * @param spec           Datasheet constants.
+     */
+    explicit DramModel(std::uint64_t capacity_bytes,
+                       const DramSpec& spec = DramSpec());
+
+    std::uint64_t capacityBytes() const { return capacity_; }
+
+    /** Number of 1 Gb (128 MB) devices implied by the capacity. */
+    unsigned deviceCount() const { return devices_; }
+
+    /** Access `bytes` for a read; returns the latency. */
+    Seconds read(std::uint64_t bytes);
+
+    /** Access `bytes` for a write; returns the latency. */
+    Seconds write(std::uint64_t bytes);
+
+    Seconds readBusyTime() const { return readBusy_; }
+    Seconds writeBusyTime() const { return writeBusy_; }
+
+    /**
+     * Energy breakdown across a wall-clock interval; idle uses the
+     * active-idle figure (the OS touches the PDC continuously, so
+     * powerdown residency is negligible in this usage).
+     */
+    DramEnergy energyOver(Seconds wall_clock) const;
+
+  private:
+    Seconds access(std::uint64_t bytes) const;
+
+    std::uint64_t capacity_;
+    DramSpec spec_;
+    unsigned devices_;
+    Seconds readBusy_ = 0.0;
+    Seconds writeBusy_ = 0.0;
+
+    /** Sustained DDR2-style bandwidth for bulk page moves. */
+    static constexpr double kBandwidthBytesPerSec = 3.2e9;
+};
+
+} // namespace flashcache
+
+#endif // FLASHCACHE_DEVICES_DRAM_HH

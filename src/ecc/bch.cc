@@ -1,0 +1,217 @@
+#include "ecc/bch.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/log.hh"
+
+namespace flashcache {
+
+namespace {
+
+/** Smallest member of the 2-cyclotomic coset of e mod n. */
+std::uint64_t
+cosetLeader(std::uint64_t e, std::uint64_t n)
+{
+    std::uint64_t leader = e;
+    std::uint64_t x = (e * 2) % n;
+    while (x != e) {
+        leader = std::min(leader, x);
+        x = (x * 2) % n;
+    }
+    return leader;
+}
+
+} // namespace
+
+BchCode::BchCode(unsigned m, unsigned t, std::uint32_t data_bits)
+    : gf_(m), t_(t), dataBits_(data_bits)
+{
+    if (t == 0)
+        fatal("BchCode with t = 0");
+    if (data_bits % 8 != 0)
+        fatal("BchCode data length must be byte aligned");
+
+    // Generator = LCM of minimal polynomials of alpha^1 .. alpha^2t.
+    // Even powers share cyclotomic cosets with smaller ones, so only
+    // distinct coset leaders among the odd exponents contribute.
+    const std::uint64_t n = gf_.groupOrder();
+    std::vector<std::uint64_t> leaders;
+    gen_ = Gf2Poly::monomial(0); // 1
+    for (std::uint64_t i = 1; i < 2ull * t; i += 2) {
+        const std::uint64_t leader = cosetLeader(i % n, n);
+        if (std::find(leaders.begin(), leaders.end(), leader) !=
+            leaders.end()) {
+            continue;
+        }
+        leaders.push_back(leader);
+        gen_ = gen_ * minimalPolynomial(gf_, static_cast<std::uint32_t>(
+            leader));
+    }
+
+    parityBits_ = static_cast<std::uint32_t>(gen_.degree());
+    if (dataBits_ + parityBits_ > n) {
+        std::ostringstream os;
+        os << "BCH(m=" << m << ", t=" << t << ") cannot hold "
+           << data_bits << " data bits (n = " << n << ", parity = "
+           << parityBits_ << ")";
+        fatal(os.str());
+    }
+}
+
+void
+BchCode::encode(const std::uint8_t* data, std::uint8_t* parity) const
+{
+    // Systematic: parity(x) = data(x) * x^r mod g(x).
+    Gf2Poly msg;
+    const std::uint32_t nbytes = dataBits_ / 8;
+    for (std::uint32_t i = 0; i < nbytes; ++i) {
+        const std::uint8_t byte = data[i];
+        if (!byte)
+            continue;
+        for (unsigned b = 0; b < 8; ++b) {
+            if (byte & (1u << b))
+                msg.setCoeff(parityBits_ + i * 8 + b, true);
+        }
+    }
+    const Gf2Poly rem = msg.mod(gen_);
+    const std::uint32_t pbytes = parityBytes();
+    for (std::uint32_t i = 0; i < pbytes; ++i)
+        parity[i] = 0;
+    for (std::uint32_t i = 0; i < parityBits_; ++i) {
+        if (rem.coeff(i))
+            parity[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+    }
+}
+
+std::vector<GaloisField::Elem>
+BchCode::syndromes(const std::uint8_t* data,
+                   const std::uint8_t* parity) const
+{
+    // S_j = r(alpha^j), j = 1..2t, accumulated over set bits only.
+    const std::int64_t n = gf_.groupOrder();
+    std::vector<GaloisField::Elem> synd(2 * t_, 0);
+    const std::uint32_t total = codewordBits();
+    for (std::uint32_t p = 0; p < total; ++p) {
+        if (!codewordBit(data, parity, p))
+            continue;
+        for (unsigned j = 1; j <= 2 * t_; ++j) {
+            synd[j - 1] ^= gf_.alphaPow(
+                (static_cast<std::int64_t>(p) * j) % n);
+        }
+    }
+    return synd;
+}
+
+bool
+BchCode::isCodewordClean(const std::uint8_t* data,
+                         const std::uint8_t* parity) const
+{
+    const auto synd = syndromes(data, parity);
+    return std::all_of(synd.begin(), synd.end(),
+                       [](GaloisField::Elem s) { return s == 0; });
+}
+
+std::vector<GaloisField::Elem>
+BchCode::berlekampMassey(const std::vector<GaloisField::Elem>& synd) const
+{
+    // Berlekamp-Massey over GF(2^m): find the shortest LFSR C(x)
+    // generating the syndrome sequence.
+    std::vector<GaloisField::Elem> c = {1};
+    std::vector<GaloisField::Elem> b = {1};
+    unsigned l = 0;
+    unsigned mm = 1;
+    GaloisField::Elem bb = 1;
+
+    for (unsigned nn = 0; nn < synd.size(); ++nn) {
+        GaloisField::Elem d = synd[nn];
+        for (unsigned i = 1; i <= l && i < c.size(); ++i)
+            d ^= gf_.mul(c[i], synd[nn - i]);
+
+        if (d == 0) {
+            ++mm;
+        } else if (2 * l <= nn) {
+            const std::vector<GaloisField::Elem> tmp = c;
+            const GaloisField::Elem coef = gf_.div(d, bb);
+            if (c.size() < b.size() + mm)
+                c.resize(b.size() + mm, 0);
+            for (std::size_t i = 0; i < b.size(); ++i)
+                c[i + mm] ^= gf_.mul(coef, b[i]);
+            l = nn + 1 - l;
+            b = tmp;
+            bb = d;
+            mm = 1;
+        } else {
+            const GaloisField::Elem coef = gf_.div(d, bb);
+            if (c.size() < b.size() + mm)
+                c.resize(b.size() + mm, 0);
+            for (std::size_t i = 0; i < b.size(); ++i)
+                c[i + mm] ^= gf_.mul(coef, b[i]);
+            ++mm;
+        }
+    }
+    while (!c.empty() && c.back() == 0)
+        c.pop_back();
+    return c;
+}
+
+BchDecodeResult
+BchCode::decode(std::uint8_t* data, std::uint8_t* parity) const
+{
+    BchDecodeResult res;
+
+    const auto synd = syndromes(data, parity);
+    const bool clean = std::all_of(synd.begin(), synd.end(),
+        [](GaloisField::Elem s) { return s == 0; });
+    if (clean) {
+        res.ok = true;
+        return res;
+    }
+
+    const auto sigma = berlekampMassey(synd);
+    const unsigned deg = sigma.empty()
+        ? 0 : static_cast<unsigned>(sigma.size() - 1);
+    if (deg == 0 || deg > t_) {
+        res.ok = false;
+        return res;
+    }
+
+    // Chien search over the shortened positions: sigma has a root at
+    // alpha^{-p} exactly when an error sits at codeword position p.
+    // Incrementally maintain term_j = sigma_j * alpha^{-p*j}.
+    std::vector<GaloisField::Elem> term(sigma.begin(), sigma.end());
+    std::vector<GaloisField::Elem> step(sigma.size());
+    for (std::size_t j = 0; j < sigma.size(); ++j)
+        step[j] = gf_.alphaPow(-static_cast<std::int64_t>(j));
+
+    const std::uint32_t total = codewordBits();
+    for (std::uint32_t p = 0; p < total; ++p) {
+        GaloisField::Elem acc = 0;
+        for (std::size_t j = 0; j < term.size(); ++j)
+            acc ^= term[j];
+        if (acc == 0)
+            res.positions.push_back(p);
+        for (std::size_t j = 1; j < term.size(); ++j)
+            term[j] = gf_.mul(term[j], step[j]);
+    }
+
+    if (res.positions.size() != deg) {
+        // Some locator roots fall outside the shortened word: the
+        // actual error count exceeded t.
+        res.positions.clear();
+        res.ok = false;
+        return res;
+    }
+
+    for (const std::uint32_t p : res.positions) {
+        if (p < parityBits_)
+            flipBit(parity, p);
+        else
+            flipBit(data, p - parityBits_);
+    }
+    res.correctedBits = deg;
+    res.ok = true;
+    return res;
+}
+
+} // namespace flashcache

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Binary BCH code: systematic encoder and full algebraic decoder.
+ *
+ * This is the error-correction engine of the paper's programmable
+ * flash memory controller (section 4.1). The controller instantiates
+ * shortened codes over GF(2^15) for a 2 KB page with t = 1..12
+ * correctable bits; the implementation below is generic over field
+ * degree, strength and data length so tests can exercise small codes
+ * exhaustively.
+ *
+ * Decoding pipeline: syndrome computation, Berlekamp-Massey to find
+ * the error locator polynomial, Chien search to find its roots, and
+ * in-place bit flips (binary code, so error magnitude is always 1).
+ */
+
+#ifndef FLASHCACHE_ECC_BCH_HH
+#define FLASHCACHE_ECC_BCH_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gf/gf2_poly.hh"
+#include "gf/gf2m.hh"
+
+namespace flashcache {
+
+/** Outcome of a BCH decode attempt. */
+struct BchDecodeResult
+{
+    /**
+     * True when the decoder believes the word was corrected (or was
+     * already clean). A false value means the error count certainly
+     * exceeded t. Note that with > t errors a BCH decoder may also
+     * miscorrect silently, which is exactly why the paper pairs BCH
+     * with a CRC32 detector (section 4.1.2).
+     */
+    bool ok = false;
+
+    /** Number of bit positions flipped by the decoder. */
+    unsigned correctedBits = 0;
+
+    /** Codeword bit positions that were flipped. */
+    std::vector<std::uint32_t> positions;
+};
+
+/**
+ * A t-error-correcting binary BCH code, shortened to a given data
+ * length.
+ *
+ * Codeword layout (polynomial coefficient order): parity bits occupy
+ * coefficients [0, parityBits()), data bits occupy
+ * [parityBits(), parityBits() + dataBits()). Byte i, bit b of a user
+ * buffer maps to data bit 8*i + b.
+ */
+class BchCode
+{
+  public:
+    /**
+     * Construct the code.
+     *
+     * @param m        Field degree; natural length is 2^m - 1.
+     * @param t        Designed correction strength in bits.
+     * @param data_bits Shortened data length in bits (multiple of 8).
+     */
+    BchCode(unsigned m, unsigned t, std::uint32_t data_bits);
+
+    unsigned m() const { return gf_.m(); }
+    unsigned t() const { return t_; }
+    std::uint32_t dataBits() const { return dataBits_; }
+    std::uint32_t parityBits() const { return parityBits_; }
+    std::uint32_t parityBytes() const { return (parityBits_ + 7) / 8; }
+    std::uint32_t codewordBits() const { return dataBits_ + parityBits_; }
+
+    const GaloisField& field() const { return gf_; }
+    const Gf2Poly& generator() const { return gen_; }
+
+    /**
+     * Systematic encode.
+     *
+     * @param data   dataBits()/8 bytes of payload.
+     * @param parity Out: parityBytes() bytes of check bits.
+     */
+    void encode(const std::uint8_t* data, std::uint8_t* parity) const;
+
+    /**
+     * Decode and correct in place.
+     *
+     * @param data   dataBits()/8 bytes, corrected on success.
+     * @param parity parityBytes() bytes, corrected on success.
+     */
+    BchDecodeResult decode(std::uint8_t* data, std::uint8_t* parity) const;
+
+    /**
+     * Count syndromes without correcting; zero syndromes mean the
+     * word is (believed) clean. Exposed for the controller's
+     * error-monitoring path.
+     */
+    bool isCodewordClean(const std::uint8_t* data,
+                         const std::uint8_t* parity) const;
+
+  private:
+    /** Gather codeword bit i from the split data/parity buffers. */
+    bool
+    codewordBit(const std::uint8_t* data, const std::uint8_t* parity,
+                std::uint32_t i) const
+    {
+        if (i < parityBits_)
+            return (parity[i / 8] >> (i % 8)) & 1;
+        const std::uint32_t j = i - parityBits_;
+        return (data[j / 8] >> (j % 8)) & 1;
+    }
+
+    static void
+    flipBit(std::uint8_t* buf, std::uint32_t i)
+    {
+        buf[i / 8] ^= static_cast<std::uint8_t>(1u << (i % 8));
+    }
+
+    /** Compute the 2t syndromes of the received word. */
+    std::vector<GaloisField::Elem>
+    syndromes(const std::uint8_t* data, const std::uint8_t* parity) const;
+
+    /** Berlekamp-Massey: error locator from syndromes. */
+    std::vector<GaloisField::Elem>
+    berlekampMassey(const std::vector<GaloisField::Elem>& synd) const;
+
+    GaloisField gf_;
+    unsigned t_;
+    std::uint32_t dataBits_;
+    std::uint32_t parityBits_;
+    Gf2Poly gen_;
+};
+
+} // namespace flashcache
+
+#endif // FLASHCACHE_ECC_BCH_HH

@@ -1,0 +1,46 @@
+#include "ecc/crc32.hh"
+
+#include <array>
+
+namespace flashcache {
+
+namespace {
+
+std::array<std::uint32_t, 256>
+makeTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+const std::array<std::uint32_t, 256>& table()
+{
+    static const std::array<std::uint32_t, 256> t = makeTable();
+    return t;
+}
+
+} // namespace
+
+std::uint32_t
+crc32Update(std::uint32_t crc, const std::uint8_t* data, std::size_t len)
+{
+    crc = ~crc;
+    const auto& t = table();
+    for (std::size_t i = 0; i < len; ++i)
+        crc = t[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+    return ~crc;
+}
+
+std::uint32_t
+crc32(const std::uint8_t* data, std::size_t len)
+{
+    return crc32Update(0, data, len);
+}
+
+} // namespace flashcache

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3) checksum.
+ *
+ * The paper pairs the BCH corrector with a CRC32 detector (section
+ * 4.1.2): BCH can silently miscorrect when more than t errors occur,
+ * and the CRC catches those false positives. 4 of the page's 64 spare
+ * bytes hold this checksum.
+ */
+
+#ifndef FLASHCACHE_ECC_CRC32_HH
+#define FLASHCACHE_ECC_CRC32_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace flashcache {
+
+/** CRC-32 of a buffer (reflected polynomial 0xEDB88320, init ~0). */
+std::uint32_t crc32(const std::uint8_t* data, std::size_t len);
+
+/** Incrementally extend a CRC-32 with more data. */
+std::uint32_t crc32Update(std::uint32_t crc, const std::uint8_t* data,
+                          std::size_t len);
+
+} // namespace flashcache
+
+#endif // FLASHCACHE_ECC_CRC32_HH

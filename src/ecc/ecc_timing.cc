@@ -1,0 +1,62 @@
+#include "ecc/ecc_timing.hh"
+
+namespace flashcache {
+
+EccTimingModel::EccTimingModel(double clock_hz, unsigned lanes,
+                               std::uint32_t page_bytes,
+                               std::uint32_t spare_bytes)
+    : clockHz_(clock_hz), lanes_(lanes), pageBytes_(page_bytes),
+      spareBytes_(spare_bytes)
+{
+}
+
+std::uint32_t
+EccTimingModel::codewordBits(unsigned t) const
+{
+    // Data plus m*t parity bits with m = 15 for the 2 KB page code.
+    return pageBytes_ * 8 + 15 * t;
+}
+
+BchLatency
+EccTimingModel::decodeLatency(unsigned t) const
+{
+    BchLatency lat;
+    if (t == 0)
+        return lat;
+
+    const double n = codewordBits(t);
+    const double cycle = 1.0 / clockHz_;
+
+    // Syndrome pass: 2t GF multiply-accumulates per bit, spread over
+    // the parallel lanes.
+    lat.syndrome = (n * 2.0 * t / lanes_) * cycle;
+
+    // Berlekamp-Massey: O(t^2) serial GF ops; negligible, as the
+    // paper notes ("Berlekamp algorithm overhead is insignificant").
+    lat.berlekamp = (2.0 * t * t) * cycle;
+
+    // Chien search: t+1 locator terms evaluated per position across
+    // the 16 engines.
+    lat.chien = (n * (t + 1.0) / lanes_) * cycle;
+
+    return lat;
+}
+
+Seconds
+EccTimingModel::encodeLatency(unsigned t) const
+{
+    // The LFSR divider consumes 8 bits per cycle while the page
+    // streams in, then flushes the parity register.
+    const double cycles = (pageBytes_ + spareBytes_) + 15.0 * t / 8.0;
+    return cycles / clockHz_;
+}
+
+Seconds
+EccTimingModel::crcLatency() const
+{
+    // Parallel CRC32 engine, 32 bits per cycle (section 4.1.2).
+    const double cycles = (pageBytes_ + spareBytes_) * 8.0 / 32.0;
+    return cycles / clockHz_ * 0.1; // pipelined with the transfer
+}
+
+} // namespace flashcache

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Timing model of the paper's hardware BCH accelerator.
+ *
+ * Section 4.1.1: a pure-software decoder on a 3.4 GHz P4 took 0.1-1 s
+ * per page, so the authors designed an accelerator — a 100 MHz
+ * in-order embedded core with a 2^15-entry finite-field lookup table
+ * and 16 parallel finite-field adder/multiplier lanes (16 Chien
+ * search engines), ~1 mm^2, fixed 2 KB block size, t <= 12.
+ *
+ * This model reproduces Figure 6(a) / Table 3: decode latency rises
+ * roughly linearly in code strength from ~58 us (t = 2) to ~400 us
+ * (t = 12), split into a syndrome component and a Chien component,
+ * with the Berlekamp stage negligible. The density controller and
+ * simulator query it for per-access ECC delay; strengths beyond 12
+ * extrapolate linearly (used by the paper for Figure 10's sweep to
+ * t = 50).
+ */
+
+#ifndef FLASHCACHE_ECC_ECC_TIMING_HH
+#define FLASHCACHE_ECC_ECC_TIMING_HH
+
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace flashcache {
+
+/** Latency breakdown of one accelerated BCH decode. */
+struct BchLatency
+{
+    Seconds syndrome = 0.0;
+    Seconds berlekamp = 0.0;
+    Seconds chien = 0.0;
+
+    Seconds total() const { return syndrome + berlekamp + chien; }
+};
+
+/**
+ * Analytic accelerator model; all methods are pure functions of the
+ * configuration.
+ */
+class EccTimingModel
+{
+  public:
+    /**
+     * @param clock_hz   Accelerator clock (paper: 100 MHz).
+     * @param lanes      Parallel GF lanes / Chien engines (paper: 16).
+     * @param page_bytes Protected payload size (paper: 2048).
+     * @param spare_bytes Spare area also streamed through (64).
+     */
+    EccTimingModel(double clock_hz = 100e6, unsigned lanes = 16,
+                   std::uint32_t page_bytes = 2048,
+                   std::uint32_t spare_bytes = 64);
+
+    /** Decode latency breakdown for code strength t (t = 0 is free). */
+    BchLatency decodeLatency(unsigned t) const;
+
+    /** Encode latency (streaming LFSR division, strength-independent
+     *  up to the parity flush). */
+    Seconds encodeLatency(unsigned t) const;
+
+    /** CRC32 check latency; "tens of nanoseconds" per section 4.1.2. */
+    Seconds crcLatency() const;
+
+    std::uint32_t codewordBits(unsigned t) const;
+
+  private:
+    double clockHz_;
+    unsigned lanes_;
+    std::uint32_t pageBytes_;
+    std::uint32_t spareBytes_;
+};
+
+} // namespace flashcache
+
+#endif // FLASHCACHE_ECC_ECC_TIMING_HH

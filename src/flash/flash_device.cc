@@ -1,0 +1,334 @@
+#include "flash/flash_device.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "reliability/page_health.hh"
+#include "util/log.hh"
+#include "util/serialize.hh"
+
+namespace flashcache {
+
+FlashDevice::FlashDevice(const FlashGeometry& geometry,
+                         const FlashTiming& timing,
+                         const CellLifetimeModel& lifetime,
+                         std::uint64_t seed, double spatial_frac,
+                         bool store_data)
+    : geom_(geometry), timing_(timing), lifetime_(&lifetime), seed_(seed),
+      spatialFrac_(spatial_frac), storeData_(store_data),
+      softRng_(seed ^ 0xBADC0FFEE0DDF00Dull)
+{
+    const std::size_t nframes =
+        static_cast<std::size_t>(geom_.numBlocks) * geom_.framesPerBlock;
+    frames_.resize(nframes);
+    blockErases_.assign(geom_.numBlocks, 0);
+    programmed_.assign(nframes * 2, false);
+
+    // Factory bad-block marking, deterministic per seed.
+    factoryBad_.assign(geom_.numBlocks, false);
+    if (geom_.factoryBadBlockRate > 0.0) {
+        Rng bad_rng(seed ^ 0xFEEDFACECAFEBEEFull);
+        for (std::uint32_t b = 0; b < geom_.numBlocks; ++b)
+            factoryBad_[b] = bad_rng.bernoulli(geom_.factoryBadBlockRate);
+    }
+}
+
+bool
+FlashDevice::isFactoryBad(std::uint32_t block) const
+{
+    return factoryBad_.at(block);
+}
+
+FlashDevice::FrameState&
+FlashDevice::frameAt(std::uint32_t block, std::uint16_t frame)
+{
+    return frames_[static_cast<std::size_t>(block) * geom_.framesPerBlock +
+                   frame];
+}
+
+const FlashDevice::FrameState&
+FlashDevice::frameAt(std::uint32_t block, std::uint16_t frame) const
+{
+    return frames_[static_cast<std::size_t>(block) * geom_.framesPerBlock +
+                   frame];
+}
+
+void
+FlashDevice::validate(const PageAddress& addr) const
+{
+    if (addr.block >= geom_.numBlocks || addr.frame >= geom_.framesPerBlock
+        || addr.sub > 1) {
+        panic("flash page address out of range");
+    }
+    if (factoryBad_[addr.block])
+        panic("access to a factory bad block");
+    const auto& fs = frameAt(addr.block, addr.frame);
+    if (addr.sub == 1 && fs.mode == DensityMode::SLC)
+        panic("second MLC page addressed on an SLC-mode frame");
+}
+
+void
+FlashDevice::account(Seconds latency)
+{
+    stats_.busyTime += latency;
+    stats_.activeEnergy += latency * timing_.activePower;
+}
+
+void
+FlashDevice::ensureHealth(FrameState& fs, std::uint32_t block,
+                          std::uint16_t frame) const
+{
+    if (!fs.weakest.empty())
+        return;
+    // Per-frame deterministic stream: independent of access order.
+    const std::uint64_t mix = seed_ ^
+        (0x9E3779B97F4A7C15ull * (static_cast<std::uint64_t>(block) *
+                                  geom_.framesPerBlock + frame + 1));
+    Rng rng(mix);
+    const double offset = spatialFrac_ == 0.0
+        ? 0.0
+        : rng.normal(0.0, lifetime_->params().spatialShiftDecadesPerFrac *
+                     spatialFrac_ / 3.0);
+    const auto weakest = sampleWeakestLifetimes(
+        *lifetime_, rng, geom_.pageBits(), kTrackedCells, offset);
+    fs.weakest.assign(weakest.begin(), weakest.end());
+}
+
+unsigned
+FlashDevice::hardErrorsOf(const FrameState& fs, std::uint32_t block,
+                          std::uint16_t frame, DensityMode mode) const
+{
+    if (fs.damage == 0.0f)
+        return 0;
+    auto& mut = const_cast<FrameState&>(fs);
+    ensureHealth(mut, block, frame);
+    // MLC sensing margins are tighter: the same physical damage
+    // manifests as if the cell had seen mlcWearMultiplier times the
+    // cycles (Table 1's 10x endurance gap).
+    const double eff = mode == DensityMode::MLC
+        ? fs.damage * lifetime_->params().mlcWearMultiplier
+        : static_cast<double>(fs.damage);
+    const auto it = std::upper_bound(fs.weakest.begin(), fs.weakest.end(),
+                                     static_cast<float>(eff));
+    return static_cast<unsigned>(it - fs.weakest.begin());
+}
+
+double
+FlashDevice::effectiveCycles(std::uint32_t block, std::uint16_t frame,
+                             DensityMode mode) const
+{
+    const auto& fs = frameAt(block, frame);
+    return mode == DensityMode::MLC
+        ? fs.damage * lifetime_->params().mlcWearMultiplier
+        : static_cast<double>(fs.damage);
+}
+
+FlashDevice::ReadResult
+FlashDevice::readPage(const PageAddress& addr)
+{
+    validate(addr);
+    if (!programmed_[linearPage(addr)])
+        panic("read of unprogrammed flash page");
+    const auto& fs = frameAt(addr.block, addr.frame);
+    ReadResult res;
+    res.latency = fs.mode == DensityMode::SLC ? timing_.slcReadLatency
+                                              : timing_.mlcReadLatency;
+    res.hardBitErrors = hardErrorsOf(fs, addr.block, addr.frame, fs.mode);
+    if (softErrorRate_ > 0.0) {
+        // Transient read-disturb/retention flips; MLC's narrower
+        // sensing margins double the exposure.
+        const double rate = fs.mode == DensityMode::MLC
+            ? 2.0 * softErrorRate_ : softErrorRate_;
+        res.hardBitErrors += static_cast<unsigned>(
+            softRng_.poisson(rate * geom_.pageBits()));
+    }
+    ++stats_.reads;
+    account(res.latency);
+    return res;
+}
+
+void
+FlashDevice::setSoftErrorRate(double rate_per_bit_read)
+{
+    softErrorRate_ = rate_per_bit_read;
+}
+
+Seconds
+FlashDevice::programPage(const PageAddress& addr, const std::uint8_t* data,
+                         const std::uint8_t* spare)
+{
+    validate(addr);
+    const std::size_t lp = linearPage(addr);
+    if (programmed_[lp])
+        panic("program of already-programmed page without erase");
+    programmed_[lp] = true;
+
+    const auto& fs = frameAt(addr.block, addr.frame);
+    const Seconds lat = fs.mode == DensityMode::SLC
+        ? timing_.slcWriteLatency : timing_.mlcWriteLatency;
+
+    if (storeData_ && data) {
+        std::vector<std::uint8_t> buf(data, data + geom_.pageDataBytes);
+        if (spare) {
+            buf.insert(buf.end(), spare, spare + geom_.pageSpareBytes);
+        }
+        data_[lp] = std::move(buf);
+    }
+    ++stats_.programs;
+    account(lat);
+    return lat;
+}
+
+Seconds
+FlashDevice::eraseBlock(std::uint32_t block)
+{
+    if (block >= geom_.numBlocks)
+        panic("erase of out-of-range block");
+    if (factoryBad_[block])
+        panic("erase of a factory bad block");
+    bool any_mlc = false;
+    for (std::uint16_t f = 0; f < geom_.framesPerBlock; ++f) {
+        FrameState& fs = frameAt(block, f);
+        fs.damage += 1.0f;
+        fs.mode = fs.pendingMode;
+        if (fs.mode == DensityMode::MLC)
+            any_mlc = true;
+        const std::size_t base =
+            (static_cast<std::size_t>(block) * geom_.framesPerBlock + f) *
+            2;
+        if (storeData_) {
+            data_.erase(base);
+            data_.erase(base + 1);
+        }
+        programmed_[base] = false;
+        programmed_[base + 1] = false;
+    }
+    ++blockErases_[block];
+    const Seconds lat = any_mlc ? timing_.mlcEraseLatency
+                                : timing_.slcEraseLatency;
+    ++stats_.erases;
+    account(lat);
+    return lat;
+}
+
+DensityMode
+FlashDevice::frameMode(std::uint32_t block, std::uint16_t frame) const
+{
+    return frameAt(block, frame).mode;
+}
+
+void
+FlashDevice::requestFrameMode(std::uint32_t block, std::uint16_t frame,
+                              DensityMode mode)
+{
+    frameAt(block, frame).pendingMode = mode;
+}
+
+unsigned
+FlashDevice::hardErrors(const PageAddress& addr) const
+{
+    validate(addr);
+    const auto& fs = frameAt(addr.block, addr.frame);
+    return hardErrorsOf(fs, addr.block, addr.frame, fs.mode);
+}
+
+double
+FlashDevice::frameDamage(std::uint32_t block, std::uint16_t frame) const
+{
+    return frameAt(block, frame).damage;
+}
+
+std::uint32_t
+FlashDevice::blockEraseCount(std::uint32_t block) const
+{
+    return blockErases_.at(block);
+}
+
+bool
+FlashDevice::isProgrammed(const PageAddress& addr) const
+{
+    validate(addr);
+    return programmed_[linearPage(addr)];
+}
+
+const std::vector<std::uint8_t>*
+FlashDevice::pageData(const PageAddress& addr) const
+{
+    const auto it = data_.find(linearPage(addr));
+    return it == data_.end() ? nullptr : &it->second;
+}
+
+void
+FlashDevice::saveState(std::ostream& os) const
+{
+    putMagic(os, "FCDEV001");
+    putScalar<std::uint32_t>(os, geom_.numBlocks);
+    putScalar<std::uint16_t>(os, geom_.framesPerBlock);
+    putScalar<std::uint8_t>(os, storeData_ ? 1 : 0);
+
+    for (const FrameState& fs : frames_) {
+        putScalar<std::uint8_t>(os, static_cast<std::uint8_t>(fs.mode));
+        putScalar<std::uint8_t>(os,
+                                static_cast<std::uint8_t>(fs.pendingMode));
+        putScalar<float>(os, fs.damage);
+        putVector(os, fs.weakest);
+    }
+    putVector(os, blockErases_);
+
+    // Programmed bitmap, packed.
+    putScalar<std::uint64_t>(os, programmed_.size());
+    for (std::size_t i = 0; i < programmed_.size(); i += 8) {
+        std::uint8_t byte = 0;
+        for (std::size_t b = 0; b < 8 && i + b < programmed_.size(); ++b)
+            byte |= static_cast<std::uint8_t>(programmed_[i + b]) << b;
+        putScalar(os, byte);
+    }
+
+    // Retained payloads (store_data mode).
+    putScalar<std::uint64_t>(os, data_.size());
+    for (const auto& [lp, bytes] : data_) {
+        putScalar<std::uint64_t>(os, lp);
+        putVector(os, bytes);
+    }
+}
+
+void
+FlashDevice::loadState(std::istream& is)
+{
+    expectMagic(is, "FCDEV001");
+    if (getScalar<std::uint32_t>(is) != geom_.numBlocks ||
+        getScalar<std::uint16_t>(is) != geom_.framesPerBlock) {
+        fatal("flash state file geometry mismatch");
+    }
+    if ((getScalar<std::uint8_t>(is) != 0) != storeData_)
+        fatal("flash state file store_data mode mismatch");
+
+    for (FrameState& fs : frames_) {
+        fs.mode = static_cast<DensityMode>(getScalar<std::uint8_t>(is));
+        fs.pendingMode =
+            static_cast<DensityMode>(getScalar<std::uint8_t>(is));
+        fs.damage = getScalar<float>(is);
+        fs.weakest = getVector<float>(is);
+    }
+    blockErases_ = getVector<std::uint32_t>(is);
+    if (blockErases_.size() != geom_.numBlocks)
+        fatal("flash state file erase-count size mismatch");
+
+    const auto nbits = getScalar<std::uint64_t>(is);
+    if (nbits != programmed_.size())
+        fatal("flash state file page-count mismatch");
+    for (std::size_t i = 0; i < programmed_.size(); i += 8) {
+        const auto byte = getScalar<std::uint8_t>(is);
+        for (std::size_t b = 0; b < 8 && i + b < programmed_.size(); ++b)
+            programmed_[i + b] = (byte >> b) & 1;
+    }
+
+    data_.clear();
+    const auto npages = getScalar<std::uint64_t>(is);
+    for (std::uint64_t i = 0; i < npages; ++i) {
+        const auto lp = getScalar<std::uint64_t>(is);
+        data_[lp] = getVector<std::uint8_t>(is);
+    }
+}
+
+} // namespace flashcache

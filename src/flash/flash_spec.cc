@@ -1,0 +1,46 @@
+#include "flash/flash_spec.hh"
+
+namespace flashcache {
+
+const std::array<ItrsRow, 5>&
+itrsRoadmap()
+{
+    static const std::array<ItrsRow, 5> rows = {{
+        {2007, 0.0130, 0.0065, 0.0324, 1e5, 1e4, 10, 20},
+        {2009, 0.0081, 0.0041, 0.0153, 1e5, 1e4, 10, 20},
+        {2011, 0.0052, 0.0013, 0.0096, 1e6, 1e4, 10, 20},
+        {2013, 0.0031, 0.0008, 0.0061, 1e6, 1e4, 20, 20},
+        {2015, 0.0021, 0.0005, 0.0038, 1e6, 1e4, 20, 20},
+    }};
+    return rows;
+}
+
+FlashAreaModel::FlashAreaModel(double mlc_bytes_per_mm2)
+    : mlcBytesPerMm2_(mlc_bytes_per_mm2)
+{
+}
+
+std::uint64_t
+FlashAreaModel::capacityBytes(double die_area_mm2,
+                              double slc_fraction_of_area) const
+{
+    const double slc_area = die_area_mm2 * slc_fraction_of_area;
+    const double mlc_area = die_area_mm2 - slc_area;
+    const double bytes = mlc_area * mlcBytesPerMm2_ +
+        slc_area * mlcBytesPerMm2_ * 0.5;
+    return bytes <= 0 ? 0 : static_cast<std::uint64_t>(bytes);
+}
+
+double
+FlashAreaModel::areaForMlcBytes(std::uint64_t bytes) const
+{
+    return static_cast<double>(bytes) / mlcBytesPerMm2_;
+}
+
+double
+FlashAreaModel::areaForSlcBytes(std::uint64_t bytes) const
+{
+    return static_cast<double>(bytes) / (mlcBytesPerMm2_ * 0.5);
+}
+
+} // namespace flashcache

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Device datasheet and roadmap constants (Tables 1-3 of the paper).
+ *
+ * Everything numeric the models consume is centralized here so each
+ * bench can print the table it came from and EXPERIMENTS.md can
+ * cross-reference a single source of truth.
+ */
+
+#ifndef FLASHCACHE_FLASH_FLASH_SPEC_HH
+#define FLASHCACHE_FLASH_FLASH_SPEC_HH
+
+#include <array>
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace flashcache {
+
+/** Flash page/block timing and power, per Table 2 / Table 3. */
+struct FlashTiming
+{
+    Seconds slcReadLatency = microseconds(25);
+    Seconds slcWriteLatency = microseconds(200);
+    Seconds slcEraseLatency = milliseconds(1.5);
+
+    Seconds mlcReadLatency = microseconds(50);
+    Seconds mlcWriteLatency = microseconds(680);
+    Seconds mlcEraseLatency = milliseconds(3.3);
+
+    /** 1 Gb NAND-SLC active / idle power (Table 2). */
+    Watts activePower = milliwatts(27);
+    Watts idlePower = microwatts(6);
+};
+
+/** DRAM timing and power (Table 2 / Table 3, 1 Gb DDR2 DIMM). */
+struct DramSpec
+{
+    Seconds rowCycle = nanoseconds(50); // tRC
+    Watts activePower = milliwatts(878);
+    Watts idleActivePower = milliwatts(80);
+    Watts idlePowerdownPower = milliwatts(18);
+
+    /** Bytes per 1 Gb device; scaled-footprint experiments shrink
+     *  this with everything else so device-count ratios (and hence
+     *  idle power ratios) match the full-size configuration. */
+    std::uint64_t deviceBytes = mib(128);
+};
+
+/** Hard disk drive latency and power. */
+struct DiskSpec
+{
+    /** Table 3: IDE disk average access latency 4.2 ms. */
+    Seconds avgAccessLatency = milliseconds(4.2);
+
+    /**
+     * The methodology (section 6.1) uses laptop-drive power (Hitachi
+     * Travelstar 7K60) because the scaled disks are small; Table 2's
+     * 13 W / 9.3 W describes the 750 GB Barracuda.
+     */
+    Watts activePower = 2.5;
+    Watts idlePower = 0.85;
+
+    Watts barracudaActivePower = 13.0;
+    Watts barracudaIdlePower = 9.3;
+};
+
+/** One row of the ITRS 2007 roadmap excerpt (Table 1). */
+struct ItrsRow
+{
+    int year;
+    double slcUm2PerBit;
+    double mlcUm2PerBit;
+    double dramUm2PerBit;
+    double slcEnduranceCycles;
+    double mlcEnduranceCycles;
+    int retentionYearsLo;
+    int retentionYearsHi;
+};
+
+/** The five roadmap columns of Table 1. */
+const std::array<ItrsRow, 5>& itrsRoadmap();
+
+/**
+ * Die-area <-> capacity model used by Figure 7's x-axis, anchored to
+ * the 146 mm^2 / 8 Gb 70 nm MLC part of reference [12]; SLC stores
+ * one bit where MLC stores two (Table 1's 2x cell-area ratio).
+ */
+class FlashAreaModel
+{
+  public:
+    /** @param mlc_bytes_per_mm2 Density anchor; default from [12]. */
+    explicit FlashAreaModel(double mlc_bytes_per_mm2 = (8.0 / 8.0) *
+                            1024.0 * 1024.0 * 1024.0 / 146.0);
+
+    /** Usable bytes of a die split between SLC and MLC regions. */
+    std::uint64_t capacityBytes(double die_area_mm2,
+                                double slc_fraction_of_area) const;
+
+    /** Area needed to hold the given capacity at a pure density. */
+    double areaForMlcBytes(std::uint64_t bytes) const;
+    double areaForSlcBytes(std::uint64_t bytes) const;
+
+  private:
+    double mlcBytesPerMm2_;
+};
+
+} // namespace flashcache
+
+#endif // FLASHCACHE_FLASH_FLASH_SPEC_HH

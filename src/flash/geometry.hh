@@ -1,0 +1,95 @@
+/**
+ * @file
+ * NAND flash array geometry (paper section 2.1, Figure 1(a)).
+ *
+ * The device is organized as blocks of page *frames*. A frame is one
+ * physical row of cells: 2048 data bytes + 64 spare bytes in SLC
+ * mode, or two 2048-byte logical pages when operated in MLC mode
+ * (the dual-mode design of Cho et al. [11]). Blocks erase as a unit:
+ * 64 SLC pages or 128 MLC pages.
+ */
+
+#ifndef FLASHCACHE_FLASH_GEOMETRY_HH
+#define FLASHCACHE_FLASH_GEOMETRY_HH
+
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace flashcache {
+
+/** Cell density mode of a page frame. */
+enum class DensityMode : std::uint8_t
+{
+    SLC, ///< one bit per cell: fast, endurant, half capacity
+    MLC, ///< two bits per cell: dense, slower, wears ~10x faster
+};
+
+/** Identifies one logical flash page. */
+struct PageAddress
+{
+    std::uint32_t block = 0;
+    std::uint16_t frame = 0; ///< physical page frame within the block
+    std::uint8_t sub = 0;    ///< 0, or 1 for the second MLC page
+
+    bool
+    operator==(const PageAddress& o) const
+    {
+        return block == o.block && frame == o.frame && sub == o.sub;
+    }
+};
+
+/** Static array shape. */
+struct FlashGeometry
+{
+    std::uint32_t numBlocks = 1024;
+    std::uint16_t framesPerBlock = 64;
+    std::uint32_t pageDataBytes = 2048;
+    std::uint32_t pageSpareBytes = 64;
+
+    /** Fraction of blocks shipped factory-bad (NAND datasheets allow
+     *  ~2%); the device marks them at construction and software must
+     *  skip them. */
+    double factoryBadBlockRate = 0.0;
+
+    std::uint32_t
+    pageBits() const
+    {
+        return (pageDataBytes + pageSpareBytes) * 8;
+    }
+
+    /** Logical pages per block when every frame runs in the mode. */
+    std::uint32_t
+    pagesPerBlock(DensityMode mode) const
+    {
+        return mode == DensityMode::SLC ? framesPerBlock
+                                        : framesPerBlock * 2u;
+    }
+
+    /** Data capacity of the whole device in the given uniform mode. */
+    std::uint64_t
+    capacityBytes(DensityMode mode) const
+    {
+        return static_cast<std::uint64_t>(numBlocks) *
+            pagesPerBlock(mode) * pageDataBytes;
+    }
+
+    /** Geometry sized to hold the given capacity of MLC data. */
+    static FlashGeometry
+    forMlcCapacity(std::uint64_t bytes)
+    {
+        FlashGeometry g;
+        const std::uint64_t per_block =
+            static_cast<std::uint64_t>(g.framesPerBlock) * 2 *
+            g.pageDataBytes;
+        g.numBlocks = static_cast<std::uint32_t>(
+            (bytes + per_block - 1) / per_block);
+        if (g.numBlocks == 0)
+            g.numBlocks = 1;
+        return g;
+    }
+};
+
+} // namespace flashcache
+
+#endif // FLASHCACHE_FLASH_GEOMETRY_HH

@@ -1,0 +1,222 @@
+#include "gf/gf2_poly.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "gf/gf2m.hh"
+#include "gf/gf_poly.hh"
+#include "util/log.hh"
+
+namespace flashcache {
+
+Gf2Poly
+Gf2Poly::monomial(std::size_t deg)
+{
+    Gf2Poly p;
+    p.setCoeff(deg, true);
+    return p;
+}
+
+Gf2Poly
+Gf2Poly::fromCoeffs(const std::vector<int>& coeffs)
+{
+    Gf2Poly p;
+    for (std::size_t i = 0; i < coeffs.size(); ++i)
+        if (coeffs[i])
+            p.setCoeff(i, true);
+    return p;
+}
+
+Gf2Poly
+Gf2Poly::fromMask(std::uint64_t mask)
+{
+    Gf2Poly p;
+    for (std::size_t i = 0; i < 64; ++i)
+        if (mask & (1ull << i))
+            p.setCoeff(i, true);
+    return p;
+}
+
+void
+Gf2Poly::trim()
+{
+    while (!words_.empty() && words_.back() == 0)
+        words_.pop_back();
+}
+
+long
+Gf2Poly::degree() const
+{
+    if (words_.empty())
+        return -1;
+    const std::uint64_t top = words_.back();
+    return static_cast<long>((words_.size() - 1) * 64 +
+                             (63 - __builtin_clzll(top)));
+}
+
+bool
+Gf2Poly::coeff(std::size_t i) const
+{
+    const std::size_t w = i / 64;
+    if (w >= words_.size())
+        return false;
+    return (words_[w] >> (i % 64)) & 1;
+}
+
+void
+Gf2Poly::setCoeff(std::size_t i, bool v)
+{
+    const std::size_t w = i / 64;
+    if (w >= words_.size()) {
+        if (!v)
+            return;
+        words_.resize(w + 1, 0);
+    }
+    if (v)
+        words_[w] |= (1ull << (i % 64));
+    else
+        words_[w] &= ~(1ull << (i % 64));
+    trim();
+}
+
+Gf2Poly
+Gf2Poly::operator+(const Gf2Poly& o) const
+{
+    Gf2Poly r;
+    r.words_.resize(std::max(words_.size(), o.words_.size()), 0);
+    for (std::size_t i = 0; i < r.words_.size(); ++i) {
+        std::uint64_t w = 0;
+        if (i < words_.size())
+            w ^= words_[i];
+        if (i < o.words_.size())
+            w ^= o.words_[i];
+        r.words_[i] = w;
+    }
+    r.trim();
+    return r;
+}
+
+Gf2Poly
+Gf2Poly::operator*(const Gf2Poly& o) const
+{
+    Gf2Poly r;
+    if (isZero() || o.isZero())
+        return r;
+    const long dr = degree() + o.degree();
+    r.words_.resize(static_cast<std::size_t>(dr) / 64 + 1, 0);
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+        std::uint64_t w = words_[i];
+        while (w) {
+            const int b = __builtin_ctzll(w);
+            w &= w - 1;
+            const std::size_t shift = i * 64 + static_cast<std::size_t>(b);
+            // r ^= o << shift
+            const std::size_t ws = shift / 64;
+            const unsigned bs = shift % 64;
+            for (std::size_t j = 0; j < o.words_.size(); ++j) {
+                r.words_[ws + j] ^= o.words_[j] << bs;
+                if (bs && ws + j + 1 < r.words_.size())
+                    r.words_[ws + j + 1] ^= o.words_[j] >> (64 - bs);
+            }
+        }
+    }
+    r.trim();
+    return r;
+}
+
+Gf2Poly
+Gf2Poly::mod(const Gf2Poly& divisor) const
+{
+    if (divisor.isZero())
+        panic("Gf2Poly division by zero polynomial");
+    Gf2Poly r = *this;
+    const long dd = divisor.degree();
+    while (r.degree() >= dd) {
+        const std::size_t shift = static_cast<std::size_t>(r.degree() - dd);
+        // r ^= divisor << shift
+        const std::size_t ws = shift / 64;
+        const unsigned bs = shift % 64;
+        if (r.words_.size() < ws + divisor.words_.size() + 1)
+            r.words_.resize(ws + divisor.words_.size() + 1, 0);
+        for (std::size_t j = 0; j < divisor.words_.size(); ++j) {
+            r.words_[ws + j] ^= divisor.words_[j] << bs;
+            if (bs)
+                r.words_[ws + j + 1] ^= divisor.words_[j] >> (64 - bs);
+        }
+        r.trim();
+    }
+    return r;
+}
+
+std::uint32_t
+Gf2Poly::eval(const GaloisField& gf, std::uint32_t beta) const
+{
+    // Sum beta^i over set coefficients, exploiting alpha-log stride.
+    std::uint32_t acc = 0;
+    if (beta == 0)
+        return coeff(0) ? 1 : 0;
+    const std::int64_t lb = gf.logAlpha(beta);
+    const long d = degree();
+    for (long i = 0; i <= d; ++i) {
+        if (coeff(static_cast<std::size_t>(i)))
+            acc ^= gf.alphaPow(lb * i);
+    }
+    return acc;
+}
+
+std::string
+Gf2Poly::toString() const
+{
+    if (isZero())
+        return "0";
+    std::ostringstream os;
+    bool first = true;
+    for (long i = degree(); i >= 0; --i) {
+        if (!coeff(static_cast<std::size_t>(i)))
+            continue;
+        if (!first)
+            os << " + ";
+        first = false;
+        if (i == 0)
+            os << "1";
+        else if (i == 1)
+            os << "x";
+        else
+            os << "x^" << i;
+    }
+    return os.str();
+}
+
+Gf2Poly
+minimalPolynomial(const GaloisField& gf, std::uint32_t power)
+{
+    // Collect the conjugacy class {power * 2^j mod (2^m - 1)}.
+    const std::uint64_t n = gf.groupOrder();
+    std::vector<std::uint64_t> cls;
+    std::uint64_t e = power % n;
+    do {
+        cls.push_back(e);
+        e = (e * 2) % n;
+    } while (e != power % n);
+
+    // Product of (x + alpha^e) over the class, with coefficients in
+    // GF(2^m); the result is guaranteed to collapse to {0,1} coeffs.
+    GfPoly prod(gf, {1});
+    for (std::uint64_t ee : cls) {
+        GfPoly factor(gf, {gf.alphaPow(static_cast<std::int64_t>(ee)), 1});
+        prod = prod * factor;
+    }
+
+    Gf2Poly out;
+    for (std::size_t i = 0; i <= static_cast<std::size_t>(prod.degree());
+         ++i) {
+        const std::uint32_t c = prod.coeff(i);
+        if (c > 1)
+            panic("minimal polynomial has non-binary coefficient");
+        if (c)
+            out.setCoeff(i, true);
+    }
+    return out;
+}
+
+} // namespace flashcache

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * GF(2^m) finite-field arithmetic via log/antilog tables.
+ *
+ * The BCH codec in the flash memory controller (paper section 4.1)
+ * works over GF(2^15): natural code length n = 2^15 - 1 = 32767 bits
+ * covers a shortened 2 KB (16384-bit) flash page, and each corrected
+ * error costs m = 15 parity bits, so t = 12 needs 180 bits = 22.5
+ * bytes — the paper's "maximum of 23 bytes ... of check bits".
+ */
+
+#ifndef FLASHCACHE_GF_GF2M_HH
+#define FLASHCACHE_GF_GF2M_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace flashcache {
+
+/**
+ * The field GF(2^m), 2 <= m <= 16, with table-driven multiply/divide.
+ *
+ * Elements are integers in [0, 2^m). Addition is XOR. alpha (the
+ * element 2) is primitive: alpha^i for i in [0, 2^m-2) enumerates the
+ * multiplicative group.
+ */
+class GaloisField
+{
+  public:
+    using Elem = std::uint32_t;
+
+    /**
+     * Build the field from a primitive polynomial.
+     *
+     * @param m    Field degree.
+     * @param poly Primitive polynomial as a bit mask including the
+     *             x^m term; 0 selects a built-in default for m.
+     */
+    explicit GaloisField(unsigned m, std::uint32_t poly = 0);
+
+    unsigned m() const { return m_; }
+
+    /** Field size 2^m. */
+    Elem size() const { return q_; }
+
+    /** Multiplicative group order 2^m - 1. */
+    Elem groupOrder() const { return q_ - 1; }
+
+    /** The primitive polynomial used to build the field. */
+    std::uint32_t primitivePoly() const { return poly_; }
+
+    /** Addition (= subtraction) in characteristic 2. */
+    static Elem add(Elem a, Elem b) { return a ^ b; }
+
+    /** Multiply two field elements. */
+    Elem
+    mul(Elem a, Elem b) const
+    {
+        if (a == 0 || b == 0)
+            return 0;
+        return exp_[log_[a] + log_[b]];
+    }
+
+    /** Multiplicative inverse. @pre a != 0 */
+    Elem inv(Elem a) const;
+
+    /** a / b. @pre b != 0 */
+    Elem div(Elem a, Elem b) const;
+
+    /** a^e with e reduced mod the group order; 0^0 == 1. */
+    Elem pow(Elem a, std::int64_t e) const;
+
+    /** alpha^e (alpha is the primitive element 2). */
+    Elem
+    alphaPow(std::int64_t e) const
+    {
+        const std::int64_t n = groupOrder();
+        std::int64_t r = e % n;
+        if (r < 0)
+            r += n;
+        return exp_[static_cast<std::size_t>(r)];
+    }
+
+    /** Discrete log base alpha. @pre a != 0 */
+    unsigned
+    logAlpha(Elem a) const
+    {
+        return log_[a];
+    }
+
+  private:
+    unsigned m_;
+    Elem q_;
+    std::uint32_t poly_;
+    std::vector<Elem> exp_; ///< alpha^i, doubled to skip a mod.
+    std::vector<unsigned> log_;
+};
+
+/** Built-in primitive polynomial for degree m (2 <= m <= 16). */
+std::uint32_t defaultPrimitivePoly(unsigned m);
+
+} // namespace flashcache
+
+#endif // FLASHCACHE_GF_GF2M_HH

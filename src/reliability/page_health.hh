@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Per-page wear tracking with O(1) error-count queries.
+ *
+ * Simulating bit errors cell-by-cell would cost 16k+ samples per
+ * page. Instead each page pre-samples the lifetimes of only its k
+ * weakest cells using uniform order statistics: the j-th smallest of
+ * n iid lifetimes maps through the inverse CDF of the cell lifetime
+ * distribution. The number of hard (permanent) bit errors after c
+ * effective W/E cycles is then just "how many sampled lifetimes are
+ * <= c" — a binary search.
+ *
+ * Effective cycles account for density mode: an erase in MLC mode
+ * wears the cell mlcWearMultiplier times faster (Table 1's 10x
+ * SLC/MLC endurance gap).
+ */
+
+#ifndef FLASHCACHE_RELIABILITY_PAGE_HEALTH_HH
+#define FLASHCACHE_RELIABILITY_PAGE_HEALTH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "reliability/wear_model.hh"
+#include "util/rng.hh"
+
+namespace flashcache {
+
+/**
+ * Sample the k smallest of n iid cell lifetimes (in cycles),
+ * ascending, for a page whose distribution is shifted by
+ * page_offset_decades.
+ */
+std::vector<double> sampleWeakestLifetimes(const CellLifetimeModel& model,
+                                           Rng& rng, unsigned n_cells,
+                                           unsigned k,
+                                           double page_offset_decades);
+
+/**
+ * Wear state of one flash page.
+ */
+class PageHealth
+{
+  public:
+    /**
+     * @param model    Shared lifetime distribution.
+     * @param rng      Simulation RNG (per-page draws).
+     * @param n_cells  Bits in the page including spare.
+     * @param k        How many weak cells to track; errors beyond k
+     *                 saturate (k >= max ECC strength + margin).
+     * @param page_offset_decades Spatial quality of this page.
+     */
+    PageHealth(const CellLifetimeModel& model, Rng& rng, unsigned n_cells,
+               unsigned k, double page_offset_decades = 0.0);
+
+    /** Hard bit errors present after the given effective cycles. */
+    unsigned hardErrors(double effective_cycles) const;
+
+    /** Effective cycles at which the (i+1)-th bit error appears. */
+    double errorOnset(unsigned i) const;
+
+    /** Number of weak cells tracked (error count saturates here). */
+    unsigned tracked() const
+    {
+        return static_cast<unsigned>(weakest_.size());
+    }
+
+  private:
+    std::vector<double> weakest_;
+};
+
+} // namespace flashcache
+
+#endif // FLASHCACHE_RELIABILITY_PAGE_HEALTH_HH

@@ -1,0 +1,79 @@
+#include "reliability/wear_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.hh"
+#include "util/mathx.hh"
+
+namespace flashcache {
+
+CellLifetimeModel::CellLifetimeModel(const WearParams& params)
+    : params_(params)
+{
+    if (params.nominalCycles <= 0 || params.sigmaDecades <= 0)
+        fatal("CellLifetimeModel: non-positive parameters");
+    if (params.failProbAtNominal <= 0 || params.failProbAtNominal >= 1)
+        fatal("CellLifetimeModel: anchor probability out of (0,1)");
+    mu_ = std::log10(params.nominalCycles) -
+        normalCdfInv(params.failProbAtNominal) * params.sigmaDecades;
+}
+
+double
+CellLifetimeModel::cellFailProb(double cycles,
+                                double page_offset_decades) const
+{
+    if (cycles <= 0)
+        return 0.0;
+    const double z = (std::log10(cycles) - mu_ - page_offset_decades) /
+        params_.sigmaDecades;
+    return normalCdf(z);
+}
+
+double
+CellLifetimeModel::cyclesAtFailProb(double p,
+                                    double page_offset_decades) const
+{
+    return std::pow(10.0, mu_ + page_offset_decades +
+                    params_.sigmaDecades * normalCdfInv(p));
+}
+
+double
+CellLifetimeModel::spatialOffsetDecades(double spatial_frac) const
+{
+    // Weak-page quantile shift: "all Flash pages had to be
+    // recoverable", so the binding page sits deep in the population
+    // tail, spatial_frac decades-per-fraction below the mean.
+    return -params_.spatialShiftDecadesPerFrac * spatial_frac;
+}
+
+double
+CellLifetimeModel::maxTolerableCycles(unsigned t, unsigned page_bits,
+                                      double spatial_frac,
+                                      double page_fail_target) const
+{
+    const double offset = spatialOffsetDecades(spatial_frac);
+
+    // P(page has > t bad bits) is monotone increasing in cycles;
+    // bisect on log10(cycles).
+    auto page_fail = [&](double log10_cycles) {
+        const double p = cellFailProb(std::pow(10.0, log10_cycles),
+                                      offset);
+        return binomialTailAbove(page_bits, p, t);
+    };
+
+    double lo = 0.0;
+    double hi = mu_ + offset + 8.0 * params_.sigmaDecades;
+    if (page_fail(lo) > page_fail_target)
+        return 1.0; // fails immediately even at one cycle
+    for (int iter = 0; iter < 100; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (page_fail(mid) <= page_fail_target)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return std::pow(10.0, lo);
+}
+
+} // namespace flashcache

@@ -1,0 +1,18 @@
+#include "sim/power_report.hh"
+
+#include <cstdio>
+
+namespace flashcache {
+
+std::string
+PowerReport::toString() const
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "mem RD %.3f W | mem WR %.3f W | mem IDLE %.3f W | "
+                  "flash %.3f W | disk %.3f W | total %.3f W",
+                  memRead, memWrite, memIdle, flash, disk, total());
+    return buf;
+}
+
+} // namespace flashcache

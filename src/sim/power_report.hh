@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Power breakdown report matching Figure 9's stacked bars: memory
+ * read / write / idle power, flash power, and disk power, averaged
+ * over a simulation's wall-clock.
+ */
+
+#ifndef FLASHCACHE_SIM_POWER_REPORT_HH
+#define FLASHCACHE_SIM_POWER_REPORT_HH
+
+#include <string>
+
+#include "util/types.hh"
+
+namespace flashcache {
+
+/** Mean power by component over a run. */
+struct PowerReport
+{
+    Watts memRead = 0.0;
+    Watts memWrite = 0.0;
+    Watts memIdle = 0.0;
+    Watts flash = 0.0;
+    Watts disk = 0.0;
+
+    Watts
+    total() const
+    {
+        return memRead + memWrite + memIdle + flash + disk;
+    }
+
+    /** Render as aligned "component: watts" lines. */
+    std::string toString() const;
+};
+
+} // namespace flashcache
+
+#endif // FLASHCACHE_SIM_POWER_REPORT_HH

@@ -1,0 +1,284 @@
+#include "sim/system_sim.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+
+#include "util/log.hh"
+
+namespace flashcache {
+
+namespace {
+
+/** Adapts the DiskModel to the cache core's BackingStore interface. */
+class DiskBackingStore : public BackingStore
+{
+  public:
+    explicit DiskBackingStore(DiskModel& disk)
+        : disk_(&disk)
+    {
+    }
+
+    Seconds
+    read(Lba lba) override
+    {
+        return disk_->access(lba, false);
+    }
+
+    Seconds
+    write(Lba lba) override
+    {
+        return disk_->access(lba, false);
+    }
+
+  private:
+    DiskModel* disk_;
+};
+
+} // namespace
+
+SystemSimulator::SystemSimulator(const SystemConfig& config)
+    : config_(config), dram_(config.dramBytes, config.dramSpec),
+      disk_(config.diskSpec, config.seed * 7919 + 1), rng_(config.seed)
+{
+    pdcCapacityPages_ = std::max<std::uint64_t>(
+        static_cast<std::uint64_t>(config.pdcFraction *
+                                   static_cast<double>(config.dramBytes))
+            / config.pageBytes, 16);
+    // The OS lets dirty pages accumulate to a fraction of the page
+    // cache before the flusher drains the coldest ones.
+    pdcDirtyLimit_ = std::max<std::uint64_t>(config.writebackBatch,
+                                             pdcCapacityPages_ / 8);
+
+    if (config.flashBytes > 0) {
+        lifetime_ = std::make_unique<CellLifetimeModel>(config.wear);
+        const auto geom = FlashGeometry::forMlcCapacity(config.flashBytes);
+        flash_ = std::make_unique<FlashDevice>(geom, config.flashTiming,
+                                               *lifetime_,
+                                               config.seed * 31 + 5);
+        controller_ = std::make_unique<FlashMemoryController>(*flash_);
+        diskStore_ = std::make_unique<DiskBackingStore>(disk_);
+
+        FlashCacheConfig fc = config.flashConfig;
+        if (config.uniformEccStrength) {
+            // Figure 10 mode: every page at one fixed strength.
+            fc.initialEccStrength = *config.uniformEccStrength;
+            fc.maxEccStrength = *config.uniformEccStrength;
+            fc.adaptiveReconfig = false;
+            fc.hotPageMigration = false;
+        }
+        cache_ = std::make_unique<FlashCache>(*controller_, *diskStore_,
+                                              fc);
+    }
+}
+
+SystemSimulator::~SystemSimulator() = default;
+
+Seconds
+SystemSimulator::readBelow(Lba lba)
+{
+    if (cache_)
+        return cache_->read(lba).latency;
+    return disk_.access(lba, false);
+}
+
+Seconds
+SystemSimulator::writeBelow(Lba lba)
+{
+    if (cache_) {
+        return cache_->write(lba).latency;
+    }
+    return disk_.access(lba, false);
+}
+
+void
+SystemSimulator::evictPdcPage()
+{
+    const Lba victim = pdcLru_.popLru();
+    if (pdcDirtyLru_.erase(victim)) {
+        // Background write-back; does not delay the foreground
+        // request, but occupies the lower levels.
+        writeBelow(victim);
+        ++stats_.writebacks;
+    }
+}
+
+Seconds
+SystemSimulator::serve(const TraceRecord& r)
+{
+    const Seconds compute = rng_.exponential(1.0 / config_.computeTime);
+    computeTotal_ += compute;
+    Seconds storage = 0.0;
+
+    if (!r.isWrite) {
+        if (pdcLru_.contains(r.lba)) {
+            pdcLru_.touch(r.lba);
+            storage = dram_.read(config_.pageBytes);
+            stats_.pdcReads.hit();
+        } else {
+            stats_.pdcReads.miss();
+            while (pdcLru_.size() >= pdcCapacityPages_)
+                evictPdcPage();
+            storage = readBelow(r.lba) + dram_.write(config_.pageBytes);
+            pdcLru_.touch(r.lba);
+        }
+    } else {
+        // Writes complete at DRAM speed; dirty data drains later.
+        storage = dram_.write(config_.pageBytes);
+        if (!pdcLru_.contains(r.lba)) {
+            while (pdcLru_.size() >= pdcCapacityPages_)
+                evictPdcPage();
+        }
+        pdcLru_.touch(r.lba);
+        pdcDirtyLru_.touch(r.lba);
+        // Periodic write-back (section 5.1): once enough dirty pages
+        // accumulate, the flusher drains the coldest ones in batches.
+        if (pdcDirtyLru_.size() >= pdcDirtyLimit_) {
+            for (unsigned i = 0;
+                 i < config_.writebackBatch && !pdcDirtyLru_.empty();
+                 ++i) {
+                writeBelow(pdcDirtyLru_.popLru());
+                ++stats_.writebacks;
+            }
+        }
+    }
+
+    latencyTotal_ += storage;
+    return compute + storage;
+}
+
+void
+SystemSimulator::run(WorkloadGenerator& workload, std::uint64_t n)
+{
+    for (std::uint64_t i = 0; i < n; ++i) {
+        serve(workload.next(rng_));
+        ++stats_.requests;
+    }
+    finishRun();
+}
+
+void
+SystemSimulator::run(const Trace& trace)
+{
+    for (const TraceRecord& r : trace) {
+        serve(r);
+        ++stats_.requests;
+    }
+    finishRun();
+}
+
+void
+SystemSimulator::finishRun()
+{
+    // Closed-loop wall clock: the request streams overlap across the
+    // cores, but no serial resource can be busier than the wall
+    // clock itself. The flash path serializes the array and the
+    // controller's ECC engine.
+    const Seconds pipelined = (computeTotal_ + latencyTotal_) /
+        static_cast<double>(config_.cores);
+    Seconds wall = pipelined;
+    wall = std::max(wall, disk_.busyTime());
+    if (flash_) {
+        wall = std::max(wall, flash_->stats().busyTime +
+                              controller_->stats().eccTime);
+    }
+    wall = std::max(wall, dram_.readBusyTime() + dram_.writeBusyTime());
+    stats_.wallClock = wall;
+}
+
+PowerReport
+SystemSimulator::powerReport() const
+{
+    PowerReport p;
+    const Seconds wall = stats_.wallClock;
+    if (wall <= 0.0)
+        return p;
+    const DramEnergy de = dram_.energyOver(wall);
+    p.memRead = de.read / wall;
+    p.memWrite = de.write / wall;
+    p.memIdle = de.idle / wall;
+    if (flash_)
+        p.flash = flash_->energyOver(wall) / wall;
+    p.disk = disk_.energyOver(wall) / wall;
+    return p;
+}
+
+
+void
+SystemSimulator::dumpStats(std::ostream& os) const
+{
+    auto line = [&os](const char* name, double value, const char* desc) {
+        os << std::left << std::setw(36) << name << std::setw(18)
+           << value << "# " << desc << "\n";
+    };
+
+    os << "---------- flashcache stats dump ----------\n";
+    line("sim.requests", static_cast<double>(stats_.requests),
+         "requests served");
+    line("sim.wall_clock", stats_.wallClock, "simulated seconds");
+    line("sim.throughput", stats_.throughput(), "requests per second");
+    line("pdc.read_hit_rate", stats_.pdcReads.hitRate(),
+         "primary disk cache read hit rate");
+    line("pdc.writebacks", static_cast<double>(stats_.writebacks),
+         "dirty pages written below the PDC");
+    line("dram.read_busy", dram_.readBusyTime(), "DRAM read busy s");
+    line("dram.write_busy", dram_.writeBusyTime(), "DRAM write busy s");
+    line("disk.accesses", static_cast<double>(disk_.accesses()),
+         "disk accesses");
+    line("disk.busy", disk_.busyTime(), "disk busy seconds");
+
+    if (cache_) {
+        const FlashCacheStats& st = cache_->stats();
+        line("flash.read_hit_rate", st.fgst.reads.hitRate(),
+             "flash cache read hit rate");
+        line("flash.recent_miss_rate", st.fgst.recentMissRate(),
+             "FGST EWMA miss rate");
+        line("flash.avg_hit_latency", st.fgst.avgHitLatency(),
+             "FGST t_hit seconds");
+        line("flash.occupancy", cache_->occupancy(),
+             "valid fraction of capacity");
+        line("flash.gc_runs", static_cast<double>(st.gcRuns),
+             "garbage collections");
+        line("flash.gc_copies", static_cast<double>(st.gcPageCopies),
+             "pages relocated by GC");
+        line("flash.evictions", static_cast<double>(st.evictions),
+             "block evictions");
+        line("flash.wear_migrations",
+             static_cast<double>(st.wearMigrations),
+             "section 3.6 newest-block swaps");
+        line("flash.ecc_reconfigs",
+             static_cast<double>(st.eccReconfigs),
+             "ECC strength increases");
+        line("flash.density_reconfigs",
+             static_cast<double>(st.densityReconfigs),
+             "MLC->SLC switches");
+        line("flash.hot_migrations",
+             static_cast<double>(st.hotMigrations),
+             "read-hot SLC migrations");
+        line("flash.retired_blocks",
+             static_cast<double>(st.retiredBlocks), "blocks retired");
+        line("flash.uncorrectable",
+             static_cast<double>(st.uncorrectableReads),
+             "uncorrectable reads");
+        line("flash.data_loss_pages",
+             static_cast<double>(st.dataLossPages),
+             "dirty pages lost to wear");
+        line("flash.busy", st.flashBusyTime, "flash busy seconds");
+        line("ctrl.ecc_busy", controller_->stats().eccTime,
+             "ECC engine busy seconds");
+        line("ctrl.bits_corrected",
+             static_cast<double>(controller_->stats().bitsCorrected),
+             "total bits corrected");
+    }
+
+    const PowerReport p = powerReport();
+    line("power.mem_read", p.memRead, "W");
+    line("power.mem_write", p.memWrite, "W");
+    line("power.mem_idle", p.memIdle, "W");
+    line("power.flash", p.flash, "W");
+    line("power.disk", p.disk, "W");
+    line("power.total", p.total(), "W");
+    os << "--------------------------------------------\n";
+}
+
+} // namespace flashcache

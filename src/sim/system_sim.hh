@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Full-system storage-hierarchy simulator (paper section 6.1).
+ *
+ * Replaces the M5 full-system setup with a closed-loop server model:
+ * Table 3's 8 in-order cores become 8 concurrent request streams
+ * whose per-request time is a compute component plus the storage
+ * hierarchy access chain:
+ *
+ *   request -> DRAM primary disk cache (PDC, LRU)
+ *           -> flash based disk cache (optional)
+ *           -> hard disk drive
+ *
+ * Delivered throughput ("network bandwidth" in Figures 9/10) is
+ * requests per second of simulated wall-clock; energy integrates the
+ * DRAM read/write/idle split, flash, and disk power over the same
+ * wall-clock, reproducing Figure 9's breakdown.
+ */
+
+#ifndef FLASHCACHE_SIM_SYSTEM_SIM_HH
+#define FLASHCACHE_SIM_SYSTEM_SIM_HH
+
+#include <memory>
+#include <optional>
+
+#include "core/flash_cache.hh"
+#include "core/lru.hh"
+#include "devices/disk.hh"
+#include "devices/dram.hh"
+#include "sim/power_report.hh"
+#include "workload/synthetic.hh"
+
+namespace flashcache {
+
+/** System configuration (Table 3 defaults). */
+struct SystemConfig
+{
+    /** Concurrent request streams (8 single-issue in-order cores). */
+    unsigned cores = 8;
+
+    /** Mean per-request compute time before storage is touched. */
+    Seconds computeTime = microseconds(40);
+
+    /** DRAM size; Table 3 sweeps 128-512 MB (1-4 DIMMs). */
+    std::uint64_t dramBytes = mib(512);
+
+    /** Flash size; 0 = DRAM-only baseline. Table 3: 256 MB - 2 GB. */
+    std::uint64_t flashBytes = 0;
+
+    /** Fraction of DRAM available to the PDC; the remainder holds
+     *  the OS, the flash management tables (about 2% of the flash
+     *  size, section 3) and network buffers. */
+    double pdcFraction = 0.85;
+
+    /** Cached page size. */
+    std::uint64_t pageBytes = 2048;
+
+    /** Dirty PDC pages are written back in batches of this many. */
+    unsigned writebackBatch = 16;
+
+    /** Policy knobs forwarded to the flash cache. */
+    FlashCacheConfig flashConfig;
+
+    /** Uniform ECC strength override for Figure 10 sweeps. */
+    std::optional<std::uint8_t> uniformEccStrength;
+
+    /** Wear statistics for the flash cells. */
+    WearParams wear;
+
+    /** Device datasheets. */
+    FlashTiming flashTiming;
+    DramSpec dramSpec;
+    DiskSpec diskSpec;
+
+    std::uint64_t seed = 1;
+};
+
+/** Aggregate results of a simulation run. */
+struct SystemStats
+{
+    std::uint64_t requests = 0;
+    Seconds wallClock = 0.0;
+
+    RatioStat pdcReads;   ///< PDC hit/miss on reads
+    std::uint64_t writebacks = 0;
+
+    /** Requests per second of wall clock. */
+    double
+    throughput() const
+    {
+        return wallClock > 0.0
+            ? static_cast<double>(requests) / wallClock : 0.0;
+    }
+};
+
+/**
+ * The simulator. Construct, run a workload, then read stats and the
+ * power report.
+ */
+class SystemSimulator
+{
+  public:
+    explicit SystemSimulator(const SystemConfig& config);
+    ~SystemSimulator();
+
+    /** Drive n requests from the generator through the system. */
+    void run(WorkloadGenerator& workload, std::uint64_t n);
+
+    /** Replay a prerecorded trace. */
+    void run(const Trace& trace);
+
+    const SystemStats& stats() const { return stats_; }
+
+    /** Figure 9 power breakdown over the run's wall-clock. */
+    PowerReport powerReport() const;
+
+    /** Dump every counter of the whole stack in gem5-style
+     *  "name  value  # description" lines. */
+    void dumpStats(std::ostream& os) const;
+
+    /** Present when flashBytes > 0. */
+    const FlashCache* flashCache() const { return cache_.get(); }
+    FlashCache* flashCache() { return cache_.get(); }
+
+    const DiskModel& disk() const { return disk_; }
+    const DramModel& dram() const { return dram_; }
+    const SystemConfig& config() const { return config_; }
+
+  private:
+    /** One request; returns its storage + compute latency. */
+    Seconds serve(const TraceRecord& r);
+
+    /** Handle a read below the PDC. @return fill latency. */
+    Seconds readBelow(Lba lba);
+
+    /** Write a dirty page below the PDC (to flash or disk). */
+    Seconds writeBelow(Lba lba);
+
+    /** Evict the PDC's LRU page, writing it back if dirty. */
+    void evictPdcPage();
+
+    /** Close out a run: compute the closed-loop wall clock. */
+    void finishRun();
+
+    SystemConfig config_;
+    DramModel dram_;
+    DiskModel disk_;
+    Rng rng_;
+
+    /** PDC state: LRU over cached pages; a page is dirty iff it is
+     *  in the dirty LRU (kept separately so write-back picks the
+     *  coldest dirty pages in O(1)). */
+    LruList<Lba> pdcLru_;
+    LruList<Lba> pdcDirtyLru_;
+    std::uint64_t pdcCapacityPages_;
+    std::uint64_t pdcDirtyLimit_;
+
+    /** Flash stack (optional). */
+    std::unique_ptr<CellLifetimeModel> lifetime_;
+    std::unique_ptr<FlashDevice> flash_;
+    std::unique_ptr<FlashMemoryController> controller_;
+    std::unique_ptr<BackingStore> diskStore_;
+    std::unique_ptr<FlashCache> cache_;
+
+    SystemStats stats_;
+    /** Busy time the disk accumulated, for wall-clock bounding. */
+    Seconds computeTotal_ = 0.0;
+    Seconds latencyTotal_ = 0.0;
+};
+
+} // namespace flashcache
+
+#endif // FLASHCACHE_SIM_SYSTEM_SIM_HH

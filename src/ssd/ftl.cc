@@ -1,0 +1,234 @@
+#include "ssd/ftl.hh"
+
+#include <algorithm>
+
+#include "util/log.hh"
+
+namespace flashcache {
+
+FlashTranslationLayer::FlashTranslationLayer(
+    FlashMemoryController& controller, std::uint64_t logical_pages,
+    std::uint8_t ecc_strength)
+    : ctrl_(&controller), logicalPages_(logical_pages),
+      eccStrength_(ecc_strength)
+{
+    const FlashGeometry& geom = ctrl_->device().geometry();
+    framesPerBlock_ = geom.framesPerBlock;
+    numBlocks_ = geom.numBlocks;
+
+    const std::uint64_t phys = physicalPages();
+    if (logical_pages + 2ull * framesPerBlock_ > phys) {
+        fatal("FTL needs at least one block of overprovisioning "
+              "headroom");
+    }
+
+    map_.assign(logicalPages_, kUnmapped);
+    owner_.assign(phys, kUnmapped);
+    state_.assign(phys, 0);
+    invalidPerBlock_.assign(numBlocks_, 0);
+    validPerBlock_.assign(numBlocks_, 0);
+    freeBlocks_.reserve(numBlocks_);
+    for (std::uint32_t b = 0; b < numBlocks_; ++b)
+        freeBlocks_.push_back(b);
+}
+
+std::uint64_t
+FlashTranslationLayer::physicalPages() const
+{
+    // The FTL formats the whole device MLC.
+    return static_cast<std::uint64_t>(numBlocks_) * framesPerBlock_ * 2;
+}
+
+std::uint64_t
+FlashTranslationLayer::mappingTableBytes() const
+{
+    // One 8-byte entry per logical page, always resident (plus the
+    // reverse map kept on-device in real designs).
+    return logicalPages_ * sizeof(std::uint64_t);
+}
+
+Seconds
+FlashTranslationLayer::read(Lba lba)
+{
+    if (lba >= logicalPages_)
+        fatal("FTL read beyond exported capacity");
+    ++stats_.reads;
+    const std::uint64_t phys = map_[lba];
+    if (phys == kUnmapped)
+        return 0.0; // never written: zero-fill, no flash access
+
+    PageDescriptor desc;
+    desc.eccStrength = eccStrength_;
+    desc.mode = DensityMode::MLC;
+    const auto res = ctrl_->readPage(addressOf(phys), desc);
+    stats_.busyTime += res.latency;
+    if (res.status == ReadStatus::Uncorrectable)
+        ++stats_.uncorrectableReads;
+    return res.latency;
+}
+
+std::optional<std::uint64_t>
+FlashTranslationLayer::allocate()
+{
+    for (int guard = 0; guard < 1 << 20; ++guard) {
+        if (cursor_.block == kNoBlock) {
+            if (freeBlocks_.empty())
+                return std::nullopt;
+            cursor_.block = freeBlocks_.back();
+            freeBlocks_.pop_back();
+            cursor_.frame = 0;
+            cursor_.sub = 0;
+        }
+        if (cursor_.frame >= framesPerBlock_) {
+            cursor_.block = kNoBlock;
+            continue;
+        }
+        const PageAddress a{cursor_.block, cursor_.frame, cursor_.sub};
+        // Advance.
+        if (cursor_.sub == 0) {
+            cursor_.sub = 1;
+        } else {
+            cursor_.sub = 0;
+            ++cursor_.frame;
+        }
+        const std::uint64_t id = pageId(a);
+        if (state_[id] == 0)
+            return id;
+    }
+    panic("FTL allocation failed to converge");
+}
+
+void
+FlashTranslationLayer::programInto(std::uint64_t phys, Lba lba)
+{
+    PageDescriptor desc;
+    desc.eccStrength = eccStrength_;
+    desc.mode = DensityMode::MLC;
+    stats_.busyTime += ctrl_->writePage(addressOf(phys), desc);
+    state_[phys] = 1;
+    owner_[phys] = lba;
+    map_[lba] = phys;
+    ++validPerBlock_[addressOf(phys).block];
+}
+
+bool
+FlashTranslationLayer::garbageCollect()
+{
+    // Victim: most invalid pages; an SSD cannot evict, so even a
+    // mostly-valid victim must be copied in full.
+    std::uint32_t victim = kNoBlock;
+    std::uint16_t best = 0;
+    for (std::uint32_t b = 0; b < numBlocks_; ++b) {
+        if (b == cursor_.block)
+            continue;
+        if (invalidPerBlock_[b] > best) {
+            best = invalidPerBlock_[b];
+            victim = b;
+        }
+    }
+    if (victim == kNoBlock)
+        return false;
+
+    ++stats_.gcRuns;
+    const Seconds before = stats_.busyTime;
+    for (std::uint16_t f = 0; f < framesPerBlock_; ++f) {
+        for (std::uint8_t sub = 0; sub < 2; ++sub) {
+            const std::uint64_t id = pageId({victim, f, sub});
+            if (state_[id] != 1)
+                continue;
+            // Relocate: read + program elsewhere.
+            PageDescriptor desc;
+            desc.eccStrength = eccStrength_;
+            desc.mode = DensityMode::MLC;
+            const auto res = ctrl_->readPage(addressOf(id), desc);
+            stats_.busyTime += res.latency;
+            if (res.status == ReadStatus::Uncorrectable)
+                ++stats_.uncorrectableReads;
+
+            const auto dst = allocate();
+            if (!dst)
+                panic("FTL GC starved: no overprovisioned space");
+            const Lba lba = owner_[id];
+            state_[id] = 2;
+            ++invalidPerBlock_[victim];
+            --validPerBlock_[victim];
+            owner_[id] = kUnmapped;
+            programInto(*dst, lba);
+            ++stats_.gcPageCopies;
+        }
+    }
+    // Erase and return to the free pool.
+    stats_.busyTime += ctrl_->eraseBlock(victim);
+    ++stats_.gcErases;
+    for (std::uint16_t f = 0; f < framesPerBlock_; ++f) {
+        for (std::uint8_t sub = 0; sub < 2; ++sub) {
+            const std::uint64_t id = pageId({victim, f, sub});
+            state_[id] = 0;
+            owner_[id] = kUnmapped;
+        }
+    }
+    invalidPerBlock_[victim] = 0;
+    validPerBlock_[victim] = 0;
+    freeBlocks_.push_back(victim);
+
+    stats_.gcTime += stats_.busyTime - before;
+    return true;
+}
+
+Seconds
+FlashTranslationLayer::write(Lba lba)
+{
+    if (lba >= logicalPages_)
+        fatal("FTL write beyond exported capacity");
+    ++stats_.writes;
+
+    // Invalidate the superseded copy.
+    const std::uint64_t old = map_[lba];
+    if (old != kUnmapped) {
+        state_[old] = 2;
+        owner_[old] = kUnmapped;
+        const std::uint32_t b = addressOf(old).block;
+        ++invalidPerBlock_[b];
+        --validPerBlock_[b];
+    }
+
+    auto phys = allocate();
+    for (int attempt = 0; !phys && attempt < 4; ++attempt) {
+        if (!garbageCollect())
+            break;
+        phys = allocate();
+    }
+    if (!phys)
+        panic("FTL out of space: overprovisioning exhausted");
+
+    const Seconds before = stats_.busyTime;
+    programInto(*phys, lba);
+
+    // Keep one free block of reserve so GC always has a target.
+    if (freeBlocks_.empty())
+        garbageCollect();
+    return stats_.busyTime - before;
+}
+
+void
+FlashTranslationLayer::checkInvariants() const
+{
+    std::uint64_t valid = 0;
+    for (Lba l = 0; l < logicalPages_; ++l) {
+        const std::uint64_t phys = map_[l];
+        if (phys == kUnmapped)
+            continue;
+        ++valid;
+        if (state_[phys] != 1)
+            panic("FTL maps an LBA to a non-valid page");
+        if (owner_[phys] != l)
+            panic("FTL reverse map mismatch");
+    }
+    std::uint64_t valid_pages = 0;
+    for (const std::uint8_t s : state_)
+        valid_pages += s == 1;
+    if (valid_pages != valid)
+        panic("FTL valid page count mismatch");
+}
+
+} // namespace flashcache

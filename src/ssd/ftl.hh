@@ -1,0 +1,160 @@
+/**
+ * @file
+ * A page-mapped flash translation layer: flash as a solid-state
+ * disk, the alternative design the paper argues *against* in section
+ * 2.2 (eNVy [26] and flash file systems).
+ *
+ * Unlike the disk cache, an SSD owns the only copy of the data: it
+ * can never evict, so garbage collection must always relocate valid
+ * pages, and the device must keep headroom (overprovisioning) or GC
+ * overhead explodes — the eNVy study could only use 80% of its
+ * capacity (Figure 1(b)). The mapping table is also mandatory DRAM
+ * state for the whole logical space, which is the metadata overhead
+ * argument of section 2.2.
+ *
+ * Implemented to make the paper's motivating comparison executable:
+ * bench/motivation_ssd_vs_cache pits this FTL against the flash disk
+ * cache on the same device and workload.
+ */
+
+#ifndef FLASHCACHE_SSD_FTL_HH
+#define FLASHCACHE_SSD_FTL_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "controller/memory_controller.hh"
+#include "util/types.hh"
+
+namespace flashcache {
+
+/** FTL statistics. */
+struct FtlStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t gcRuns = 0;
+    std::uint64_t gcPageCopies = 0;
+    std::uint64_t gcErases = 0;
+    Seconds gcTime = 0.0;
+    Seconds busyTime = 0.0;
+    std::uint64_t uncorrectableReads = 0;
+
+    /** GC work relative to useful work, the Figure 1(b) metric. */
+    double
+    gcOverheadFraction() const
+    {
+        const Seconds useful = busyTime - gcTime;
+        return useful > 0.0 ? gcTime / useful : 0.0;
+    }
+};
+
+/**
+ * Page-mapped FTL over a FlashMemoryController.
+ */
+class FlashTranslationLayer
+{
+  public:
+    /**
+     * @param controller The flash stack to own.
+     * @param logical_pages Exported logical capacity; must leave
+     *        overprovisioning headroom below the physical capacity.
+     * @param ecc_strength Uniform ECC strength for all pages.
+     */
+    FlashTranslationLayer(FlashMemoryController& controller,
+                          std::uint64_t logical_pages,
+                          std::uint8_t ecc_strength = 4);
+
+    /** Exported capacity in pages. */
+    std::uint64_t logicalPages() const { return logicalPages_; }
+
+    /** Physical capacity in pages. */
+    std::uint64_t physicalPages() const;
+
+    /** Fraction of physical space exported (1 - overprovisioning). */
+    double
+    utilization() const
+    {
+        return static_cast<double>(logicalPages_) /
+            static_cast<double>(physicalPages());
+    }
+
+    /** Read one logical page. @return latency. */
+    Seconds read(Lba lba);
+
+    /** Write one logical page (out-of-place). @return latency,
+     *  excluding background GC time (tracked in stats). */
+    Seconds write(Lba lba);
+
+    const FtlStats& stats() const { return stats_; }
+
+    /**
+     * DRAM bytes the mapping table needs — the section 2.2 metadata
+     * argument: proportional to the full logical space, resident at
+     * all times.
+     */
+    std::uint64_t mappingTableBytes() const;
+
+    /** Consistency check; panics on violation. */
+    void checkInvariants() const;
+
+  private:
+    static constexpr std::uint64_t kUnmapped = ~0ull;
+    static constexpr std::uint32_t kNoBlock = ~0u;
+
+    std::uint64_t
+    pageId(const PageAddress& a) const
+    {
+        return (static_cast<std::uint64_t>(a.block) * framesPerBlock_ +
+                a.frame) * 2 + a.sub;
+    }
+
+    PageAddress
+    addressOf(std::uint64_t id) const
+    {
+        PageAddress a;
+        a.sub = static_cast<std::uint8_t>(id & 1);
+        const std::uint64_t fid = id >> 1;
+        a.frame = static_cast<std::uint16_t>(fid % framesPerBlock_);
+        a.block = static_cast<std::uint32_t>(fid / framesPerBlock_);
+        return a;
+    }
+
+    /** Next free physical page, garbage collecting as needed. */
+    std::optional<std::uint64_t> allocate();
+
+    /** Reclaim the block with the most invalid pages. */
+    bool garbageCollect();
+
+    void programInto(std::uint64_t phys, Lba lba);
+
+    FlashMemoryController* ctrl_;
+    std::uint64_t logicalPages_;
+    std::uint8_t eccStrength_;
+    std::uint32_t framesPerBlock_;
+    std::uint32_t numBlocks_;
+
+    /** LBA -> physical page id (the page-mapped table). */
+    std::vector<std::uint64_t> map_;
+    /** Physical page id -> owning LBA, kUnmapped when free/invalid. */
+    std::vector<std::uint64_t> owner_;
+    /** Physical page state mirrors: 0 free, 1 valid, 2 invalid. */
+    std::vector<std::uint8_t> state_;
+    std::vector<std::uint16_t> invalidPerBlock_;
+    std::vector<std::uint16_t> validPerBlock_;
+
+    struct Cursor
+    {
+        std::uint32_t block = kNoBlock;
+        std::uint16_t frame = 0;
+        std::uint8_t sub = 0;
+    } cursor_;
+    std::vector<std::uint32_t> freeBlocks_;
+
+    FtlStats stats_;
+};
+
+} // namespace flashcache
+
+#endif // FLASHCACHE_SSD_FTL_HH

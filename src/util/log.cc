@@ -1,0 +1,45 @@
+#include "util/log.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace flashcache {
+
+namespace {
+bool verboseEnabled = true;
+}
+
+void
+panic(const std::string& msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+void
+fatal(const std::string& msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+void
+warn(const std::string& msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+inform(const std::string& msg)
+{
+    if (verboseEnabled)
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void
+setVerbose(bool verbose)
+{
+    verboseEnabled = verbose;
+}
+
+} // namespace flashcache

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Minimal gem5-style status/error reporting.
+ *
+ * panic() is for internal invariant violations (a flashcache bug);
+ * fatal() is for user/configuration errors that make continuing
+ * meaningless; warn()/inform() report conditions without stopping.
+ */
+
+#ifndef FLASHCACHE_UTIL_LOG_HH
+#define FLASHCACHE_UTIL_LOG_HH
+
+#include <sstream>
+#include <string>
+
+namespace flashcache {
+
+/** Abort with a message; use for internal invariant violations. */
+[[noreturn]] void panic(const std::string& msg);
+
+/** Exit(1) with a message; use for invalid user configuration. */
+[[noreturn]] void fatal(const std::string& msg);
+
+/** Print a warning to stderr and continue. */
+void warn(const std::string& msg);
+
+/** Print an informational message to stderr and continue. */
+void inform(const std::string& msg);
+
+/** Enable/disable inform() output (benches silence it). */
+void setVerbose(bool verbose);
+
+} // namespace flashcache
+
+#endif // FLASHCACHE_UTIL_LOG_HH

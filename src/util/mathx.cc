@@ -1,0 +1,124 @@
+#include "util/mathx.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "util/log.hh"
+
+namespace flashcache {
+
+double
+normalCdf(double x)
+{
+    return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+double
+normalCdfInv(double p)
+{
+    if (p <= 0.0)
+        return -std::numeric_limits<double>::infinity();
+    if (p >= 1.0)
+        return std::numeric_limits<double>::infinity();
+
+    // Acklam's algorithm: rational approximations in three regions,
+    // refined with one Halley step against erfc for ~1e-15 accuracy.
+    static const double a[] = {
+        -3.969683028665376e+01, 2.209460984245205e+02,
+        -2.759285104469687e+02, 1.383577518672690e+02,
+        -3.066479806614716e+01, 2.506628277459239e+00};
+    static const double b[] = {
+        -5.447609879822406e+01, 1.615858368580409e+02,
+        -1.556989798598866e+02, 6.680131188771972e+01,
+        -1.328068155288572e+01};
+    static const double c[] = {
+        -7.784894002430293e-03, -3.223964580411365e-01,
+        -2.400758277161838e+00, -2.549732539343734e+00,
+        4.374664141464968e+00, 2.938163982698783e+00};
+    static const double d[] = {
+        7.784695709041462e-03, 3.224671290700398e-01,
+        2.445134137142996e+00, 3.754408661907416e+00};
+
+    const double plow = 0.02425;
+    double x;
+    if (p < plow) {
+        const double q = std::sqrt(-2.0 * std::log(p));
+        x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q
+             + c[5]) /
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    } else if (p <= 1.0 - plow) {
+        const double q = p - 0.5;
+        const double r = q * q;
+        x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r
+             + a[5]) * q /
+            (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r
+             + 1.0);
+    } else {
+        const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+        x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q
+              + c[5]) /
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+
+    // One Halley refinement step.
+    const double e = normalCdf(x) - p;
+    const double u = e * std::sqrt(2.0 * M_PI) * std::exp(x * x / 2.0);
+    x = x - u / (1.0 + x * u / 2.0);
+    return x;
+}
+
+double
+logChoose(std::uint64_t n, std::uint64_t k)
+{
+    if (k > n)
+        return -std::numeric_limits<double>::infinity();
+    return std::lgamma(static_cast<double>(n) + 1.0) -
+        std::lgamma(static_cast<double>(k) + 1.0) -
+        std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double
+logAddExp(double a, double b)
+{
+    if (a == -std::numeric_limits<double>::infinity())
+        return b;
+    if (b == -std::numeric_limits<double>::infinity())
+        return a;
+    const double m = a > b ? a : b;
+    return m + std::log1p(std::exp(-(a > b ? a - b : b - a)));
+}
+
+double
+binomialTailAbove(std::uint64_t n, double p, std::uint64_t t)
+{
+    if (p <= 0.0)
+        return 0.0;
+    if (p >= 1.0)
+        return t >= n ? 0.0 : 1.0;
+    if (t >= n)
+        return 0.0;
+
+    const double mean = static_cast<double>(n) * p;
+
+    // Exact lower-tail sum: valid and fast whenever t is small, which
+    // covers ECC strengths (t <= ~64).
+    if (t <= 256) {
+        const double logp = std::log(p);
+        const double log1mp = std::log1p(-p);
+        double log_cdf = -std::numeric_limits<double>::infinity();
+        for (std::uint64_t k = 0; k <= t; ++k) {
+            const double term = logChoose(n, k) +
+                static_cast<double>(k) * logp +
+                static_cast<double>(n - k) * log1mp;
+            log_cdf = logAddExp(log_cdf, term);
+        }
+        const double cdf = std::exp(log_cdf);
+        return cdf >= 1.0 ? 0.0 : 1.0 - cdf;
+    }
+
+    // Large-t fallback: normal approximation with continuity correction.
+    const double sd = std::sqrt(mean * (1.0 - p));
+    return 1.0 - normalCdf((static_cast<double>(t) + 0.5 - mean) / sd);
+}
+
+} // namespace flashcache

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Numerical helpers for the reliability model: the standard normal
+ * CDF and its inverse, and log-space binomial tail probabilities used
+ * to evaluate P(page has more bad bits than the ECC can correct).
+ */
+
+#ifndef FLASHCACHE_UTIL_MATHX_HH
+#define FLASHCACHE_UTIL_MATHX_HH
+
+#include <cstdint>
+
+namespace flashcache {
+
+/** Standard normal CDF Phi(x). */
+double normalCdf(double x);
+
+/** Inverse standard normal CDF (Acklam's rational approximation). */
+double normalCdfInv(double p);
+
+/** log(n choose k) via lgamma. */
+double logChoose(std::uint64_t n, std::uint64_t k);
+
+/**
+ * Upper binomial tail P(X > t) for X ~ Binomial(n, p), computed
+ * stably in log space; exact summation of the lower tail when t is
+ * small (the regime the ECC model lives in), with a normal
+ * approximation fallback for large n*p.
+ */
+double binomialTailAbove(std::uint64_t n, double p, std::uint64_t t);
+
+/** log(exp(a) + exp(b)) without overflow. */
+double logAddExp(double a, double b);
+
+} // namespace flashcache
+
+#endif // FLASHCACHE_UTIL_MATHX_HH

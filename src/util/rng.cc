@@ -1,0 +1,193 @@
+#include "util/rng.hh"
+
+#include <cmath>
+
+#include "util/log.hh"
+
+namespace flashcache {
+
+namespace {
+
+/** splitmix64, used only to expand the seed into xoshiro state. */
+std::uint64_t
+splitmix64(std::uint64_t& x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto& s : s_)
+        s = splitmix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits -> double in [0, 1).
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t n)
+{
+    if (n == 0)
+        panic("uniformInt(0)");
+    // Rejection to avoid modulo bias.
+    const std::uint64_t limit = ~static_cast<std::uint64_t>(0) -
+        (~static_cast<std::uint64_t>(0) % n);
+    std::uint64_t v;
+    do {
+        v = next();
+    } while (v >= limit);
+    return v % n;
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+double
+Rng::exponential(double lambda)
+{
+    // -log(1-u) with u in [0,1) avoids log(0).
+    return -std::log1p(-uniform()) / lambda;
+}
+
+double
+Rng::normal()
+{
+    if (haveCachedNormal_) {
+        haveCachedNormal_ = false;
+        return cachedNormal_;
+    }
+    double u1, u2;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cachedNormal_ = r * std::sin(theta);
+    haveCachedNormal_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+std::uint64_t
+Rng::poisson(double mean)
+{
+    if (mean < 0)
+        panic("poisson with negative mean");
+    if (mean == 0)
+        return 0;
+    if (mean > 64.0) {
+        const double v = normal(mean, std::sqrt(mean));
+        return v <= 0.0 ? 0 : static_cast<std::uint64_t>(v + 0.5);
+    }
+    // Knuth inversion by multiplication.
+    const double limit = std::exp(-mean);
+    double prod = uniform();
+    std::uint64_t k = 0;
+    while (prod > limit) {
+        prod *= uniform();
+        ++k;
+    }
+    return k;
+}
+
+// ZipfSampler: rejection-inversion after Hormann & Derflinger (1996).
+// h(x) integrates the density envelope (x+1)^-alpha.
+
+double
+ZipfSampler::h(double x) const
+{
+    if (alpha_ == 1.0)
+        return std::log1p(x);
+    return (std::pow(x + 1.0, 1.0 - alpha_) - 1.0) / (1.0 - alpha_);
+}
+
+double
+ZipfSampler::hInv(double x) const
+{
+    if (alpha_ == 1.0)
+        return std::expm1(x);
+    return std::pow(1.0 + x * (1.0 - alpha_), 1.0 / (1.0 - alpha_)) - 1.0;
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double alpha)
+    : n_(n), alpha_(alpha)
+{
+    if (n == 0)
+        fatal("ZipfSampler over empty support");
+    if (alpha < 0.0)
+        fatal("ZipfSampler with negative alpha");
+    hx0_ = h(-0.5);
+    hxn_ = h(static_cast<double>(n) - 0.5);
+    // s bounds acceptance for the k = 0 bucket.
+    s_ = 1.0 - hInv(h(0.5) - std::pow(1.0, -alpha_));
+}
+
+std::uint64_t
+ZipfSampler::sample(Rng& rng) const
+{
+    if (alpha_ == 0.0)
+        return rng.uniformInt(n_);
+    while (true) {
+        const double u = hx0_ + rng.uniform() * (hxn_ - hx0_);
+        const double x = hInv(u);
+        std::uint64_t k = static_cast<std::uint64_t>(x + 0.5 < 0.0
+            ? 0.0 : x + 0.5);
+        if (k >= n_)
+            k = n_ - 1;
+        const double kd = static_cast<double>(k);
+        if (kd - x <= s_ ||
+            u >= h(kd + 0.5) - std::pow(kd + 1.0, -alpha_)) {
+            return k;
+        }
+    }
+}
+
+} // namespace flashcache

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Deterministic random number generation for the simulator.
+ *
+ * All stochastic behaviour in flashcache flows through Rng so that a
+ * (seed, workload) pair replays bit-identically. The generator is
+ * xoshiro256**; samplers cover the distributions the paper's
+ * methodology needs (Table 4): uniform, Zipf (power-law file
+ * popularity), exponential, and normal (oxide-thickness variation in
+ * the wear-out model).
+ */
+
+#ifndef FLASHCACHE_UTIL_RNG_HH
+#define FLASHCACHE_UTIL_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace flashcache {
+
+/**
+ * xoshiro256** pseudo random generator with distribution samplers.
+ */
+class Rng
+{
+  public:
+    /** Seed the generator; the same seed replays the same stream. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). @pre n > 0 */
+    std::uint64_t uniformInt(std::uint64_t n);
+
+    /** Bernoulli trial with probability p of true. */
+    bool bernoulli(double p);
+
+    /** Exponential variate with rate lambda (mean 1/lambda). */
+    double exponential(double lambda);
+
+    /** Standard normal variate (Box-Muller with caching). */
+    double normal();
+
+    /** Normal variate with the given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /**
+     * Poisson variate with the given mean. Uses inversion for small
+     * means and a normal approximation above 64.
+     */
+    std::uint64_t poisson(double mean);
+
+    /** Fisher-Yates shuffle of a vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T>& v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::size_t j = uniformInt(i);
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+  private:
+    std::uint64_t s_[4];
+    bool haveCachedNormal_ = false;
+    double cachedNormal_ = 0.0;
+};
+
+/**
+ * Zipf(alpha) sampler over {0, .., n-1} using rejection-inversion
+ * (Hormann & Derflinger), O(1) per sample even for large n.
+ *
+ * P(k) is proportional to 1 / (k+1)^alpha; rank 0 is the most popular
+ * item. alpha = 0 degenerates to uniform.
+ */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n     Support size (number of distinct items).
+     * @param alpha Tail exponent; the paper sweeps 0.8, 1.2, 1.6.
+     */
+    ZipfSampler(std::uint64_t n, double alpha);
+
+    /** Draw one rank in [0, n). */
+    std::uint64_t sample(Rng& rng) const;
+
+    std::uint64_t n() const { return n_; }
+    double alpha() const { return alpha_; }
+
+  private:
+    double h(double x) const;
+    double hInv(double x) const;
+
+    std::uint64_t n_;
+    double alpha_;
+    double hx0_;
+    double hxn_;
+    double s_;
+};
+
+} // namespace flashcache
+
+#endif // FLASHCACHE_UTIL_RNG_HH

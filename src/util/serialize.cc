@@ -1,0 +1,20 @@
+#include "util/serialize.hh"
+
+namespace flashcache {
+
+void
+putMagic(std::ostream& os, const char (&magic)[9])
+{
+    os.write(magic, 8);
+}
+
+void
+expectMagic(std::istream& is, const char (&magic)[9])
+{
+    char buf[8];
+    is.read(buf, 8);
+    if (!is || std::memcmp(buf, magic, 8) != 0)
+        fatal(std::string("bad state file magic; expected ") + magic);
+}
+
+} // namespace flashcache

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Minimal binary serialization helpers for persisting simulator
+ * state (the section 3 tables are "read from the hard disk drive and
+ * stored in DRAM at run-time"). Fixed little-endian-style encoding
+ * of scalar PODs plus length-prefixed vectors; loaders fatal() on
+ * malformed input rather than returning garbage.
+ */
+
+#ifndef FLASHCACHE_UTIL_SERIALIZE_HH
+#define FLASHCACHE_UTIL_SERIALIZE_HH
+
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/log.hh"
+
+namespace flashcache {
+
+/** Write one scalar. */
+template <typename T>
+void
+putScalar(std::ostream& os, T v)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+/** Read one scalar; fatal on truncated input. */
+template <typename T>
+T
+getScalar(std::istream& is)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v;
+    is.read(reinterpret_cast<char*>(&v), sizeof(v));
+    if (!is)
+        fatal("truncated state file");
+    return v;
+}
+
+/** Write a length-prefixed vector of scalars. */
+template <typename T>
+void
+putVector(std::ostream& os, const std::vector<T>& v)
+{
+    putScalar<std::uint64_t>(os, v.size());
+    for (const T& x : v)
+        putScalar(os, x);
+}
+
+/** Read a length-prefixed vector of scalars. */
+template <typename T>
+std::vector<T>
+getVector(std::istream& is)
+{
+    const auto n = getScalar<std::uint64_t>(is);
+    if (n > (1ull << 32))
+        fatal("implausible vector length in state file");
+    std::vector<T> v;
+    v.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i)
+        v.push_back(getScalar<T>(is));
+    return v;
+}
+
+/** Write a fixed 8-byte magic tag. */
+void putMagic(std::ostream& os, const char (&magic)[9]);
+
+/** Read and verify an 8-byte magic tag; fatal on mismatch. */
+void expectMagic(std::istream& is, const char (&magic)[9]);
+
+} // namespace flashcache
+
+#endif // FLASHCACHE_UTIL_SERIALIZE_HH

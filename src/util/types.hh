@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Common scalar types and unit helpers shared by every flashcache module.
+ *
+ * Time is carried as double seconds throughout the simulator; the
+ * helpers below make device datasheet constants (Table 2/3 of the
+ * paper) readable at their point of definition.
+ */
+
+#ifndef FLASHCACHE_UTIL_TYPES_HH
+#define FLASHCACHE_UTIL_TYPES_HH
+
+#include <cstdint>
+
+namespace flashcache {
+
+/** Logical block address on the backing disk, in units of cache pages. */
+using Lba = std::uint64_t;
+
+/** Simulated time, in seconds. */
+using Seconds = double;
+
+/** Energy, in joules. */
+using Joules = double;
+
+/** Power, in watts. */
+using Watts = double;
+
+/** An invalid/empty LBA marker. */
+inline constexpr Lba kInvalidLba = ~static_cast<Lba>(0);
+
+/// @name Unit constructors for datasheet constants.
+/// @{
+constexpr Seconds nanoseconds(double v) { return v * 1e-9; }
+constexpr Seconds microseconds(double v) { return v * 1e-6; }
+constexpr Seconds milliseconds(double v) { return v * 1e-3; }
+
+constexpr Watts milliwatts(double v) { return v * 1e-3; }
+constexpr Watts microwatts(double v) { return v * 1e-6; }
+
+constexpr std::uint64_t kib(std::uint64_t v) { return v << 10; }
+constexpr std::uint64_t mib(std::uint64_t v) { return v << 20; }
+constexpr std::uint64_t gib(std::uint64_t v) { return v << 30; }
+/// @}
+
+} // namespace flashcache
+
+#endif // FLASHCACHE_UTIL_TYPES_HH

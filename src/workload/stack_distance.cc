@@ -1,0 +1,120 @@
+#include "workload/stack_distance.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/log.hh"
+
+namespace flashcache {
+
+StackDistance::StackDistance() = default;
+
+void
+StackDistance::bitAdd(std::size_t i, int delta)
+{
+    raw_[i] = static_cast<std::int8_t>(raw_[i] + delta);
+    for (++i; i < bit_.size(); i += i & (~i + 1))
+        bit_[i] += delta;
+}
+
+void
+StackDistance::growTo(std::size_t n)
+{
+    if (raw_.size() >= n)
+        return;
+    const std::size_t size = std::max<std::size_t>(
+        {static_cast<std::size_t>(1024), raw_.size() * 2, n});
+    raw_.resize(size, 0);
+    // Rebuild the tree in O(n): seed leaves, then propagate each
+    // node into its parent.
+    bit_.assign(size + 1, 0);
+    for (std::size_t i = 1; i <= size; ++i)
+        bit_[i] += raw_[i - 1];
+    for (std::size_t i = 1; i <= size; ++i) {
+        const std::size_t j = i + (i & (~i + 1));
+        if (j <= size)
+            bit_[j] += bit_[i];
+    }
+}
+
+std::uint64_t
+StackDistance::bitSum(std::size_t i) const
+{
+    std::uint64_t s = 0;
+    for (++i; i > 0; i -= i & (~i + 1))
+        s += static_cast<std::uint64_t>(bit_[i]);
+    return s;
+}
+
+void
+StackDistance::access(Lba lba)
+{
+    growTo(time_ + 2);
+
+    const auto it = last_.find(lba);
+    if (it == last_.end()) {
+        ++cold_;
+    } else {
+        // Stack distance = number of distinct pages touched since
+        // the previous access of this page.
+        const std::uint64_t prev = it->second;
+        const std::uint64_t d = bitSum(time_ == 0 ? 0 : time_ - 1) -
+            bitSum(prev);
+        if (histogram_.size() <= d)
+            histogram_.resize(d + 1, 0);
+        ++histogram_[d];
+        bitAdd(prev, -1);
+        cumulativeDirty_ = true;
+    }
+    bitAdd(time_, 1);
+    last_[lba] = time_;
+    ++time_;
+    cumulativeDirty_ = true;
+}
+
+std::uint64_t
+StackDistance::hitsAtSize(std::uint64_t pages) const
+{
+    if (pages == 0)
+        return 0;
+    if (cumulativeDirty_) {
+        cumulative_.assign(histogram_.size(), 0);
+        std::uint64_t acc = 0;
+        for (std::size_t d = 0; d < histogram_.size(); ++d) {
+            acc += histogram_[d];
+            cumulative_[d] = acc;
+        }
+        cumulativeDirty_ = false;
+    }
+    if (cumulative_.empty())
+        return 0;
+    // A distance-d access hits caches of size >= d + 1.
+    const std::uint64_t idx = std::min<std::uint64_t>(
+        pages - 1, cumulative_.size() - 1);
+    return cumulative_[static_cast<std::size_t>(idx)];
+}
+
+double
+StackDistance::missRateAtSize(std::uint64_t pages) const
+{
+    if (time_ == 0)
+        return 0.0;
+    return 1.0 - static_cast<double>(hitsAtSize(pages)) /
+        static_cast<double>(time_);
+}
+
+std::vector<std::uint64_t>
+popularityProfile(const std::vector<Lba>& accesses)
+{
+    std::unordered_map<Lba, std::uint64_t> counts;
+    for (const Lba l : accesses)
+        ++counts[l];
+    std::vector<std::uint64_t> out;
+    out.reserve(counts.size());
+    for (const auto& [lba, c] : counts)
+        out.push_back(c);
+    std::sort(out.begin(), out.end(), std::greater<>());
+    return out;
+}
+
+} // namespace flashcache

@@ -1,0 +1,63 @@
+#include "workload/trace.hh"
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "util/log.hh"
+
+namespace flashcache {
+
+void
+saveTraceCsv(const Trace& trace, const std::string& path)
+{
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("cannot open trace file for writing: " + path);
+    for (const TraceRecord& r : trace) {
+        std::fprintf(f, "%c,%llu\n", r.isWrite ? 'W' : 'R',
+                     static_cast<unsigned long long>(r.lba));
+    }
+    std::fclose(f);
+}
+
+Trace
+loadTraceCsv(const std::string& path)
+{
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    if (!f)
+        fatal("cannot open trace file for reading: " + path);
+    Trace out;
+    char dir;
+    unsigned long long lba;
+    int line = 0;
+    while (std::fscanf(f, " %c,%llu", &dir, &lba) == 2) {
+        ++line;
+        if (dir != 'R' && dir != 'W') {
+            std::fclose(f);
+            fatal("bad direction in trace " + path + " at record " +
+                  std::to_string(line));
+        }
+        out.push_back({static_cast<Lba>(lba), dir == 'W'});
+    }
+    std::fclose(f);
+    return out;
+}
+
+TraceSummary
+summarizeTrace(const Trace& trace)
+{
+    TraceSummary s;
+    std::unordered_set<Lba> pages;
+    for (const TraceRecord& r : trace) {
+        ++s.records;
+        if (r.isWrite)
+            ++s.writes;
+        pages.insert(r.lba);
+        if (r.lba > s.maxLba)
+            s.maxLba = r.lba;
+    }
+    s.distinctPages = pages.size();
+    return s;
+}
+
+} // namespace flashcache

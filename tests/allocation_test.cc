@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Allocation-path edge cases: mixed-density blocks, SLC cursor
+ * formatting, cursor recovery after retirement, and LRU list stress
+ * against a reference implementation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <unordered_set>
+
+#include "core/flash_cache.hh"
+#include "core/lru.hh"
+#include "util/rng.hh"
+
+namespace flashcache {
+namespace {
+
+class NullStore : public BackingStore
+{
+  public:
+    Seconds read(Lba) override { return milliseconds(4.2); }
+    Seconds write(Lba) override { return milliseconds(4.2); }
+};
+
+FlashGeometry
+geom(std::uint32_t blocks = 16, std::uint16_t frames = 8)
+{
+    FlashGeometry g;
+    g.numBlocks = blocks;
+    g.framesPerBlock = frames;
+    return g;
+}
+
+WearParams
+noWear()
+{
+    WearParams wp;
+    wp.nominalCycles = 1e9;
+    return wp;
+}
+
+TEST(AllocationTest, SlcFormattingHalvesBlockCapacity)
+{
+    // Saturate hot pages so migration creates SLC blocks, then
+    // verify the capacity accounting reflects 1 page per SLC frame.
+    CellLifetimeModel lifetime(noWear());
+    FlashDevice device(geom(), FlashTiming(), lifetime, 1);
+    FlashMemoryController ctrl(device);
+    NullStore store;
+    FlashCacheConfig cfg;
+    cfg.accessSaturation = 8;
+    FlashCache cache(ctrl, store, cfg);
+
+    const std::uint64_t before = cache.capacityPages();
+    for (int round = 0; round < 30; ++round)
+        for (Lba l = 0; l < 10; ++l)
+            cache.read(l);
+    ASSERT_GT(cache.stats().hotMigrations, 0u);
+
+    std::uint32_t slc_frames = 0;
+    for (std::uint32_t b = 0; b < 16; ++b)
+        for (std::uint16_t f = 0; f < 8; ++f)
+            slc_frames += device.frameMode(b, f) == DensityMode::SLC;
+    ASSERT_GT(slc_frames, 0u);
+    EXPECT_EQ(cache.capacityPages(), before - slc_frames);
+    cache.checkInvariants();
+}
+
+TEST(AllocationTest, MixedBlockSlotsCountedCorrectly)
+{
+    // Reconfiguration-driven SLC switches produce mixed blocks;
+    // occupancy and invariants must stay exact through them.
+    WearParams wp;
+    wp.nominalCycles = 60;
+    wp.sigmaDecades = 0.8;
+    CellLifetimeModel lifetime(wp);
+    FlashDevice device(geom(), FlashTiming(), lifetime, 2);
+    FlashMemoryController ctrl(device);
+    NullStore store;
+    FlashCacheConfig cfg;
+    cfg.hotPageMigration = false;
+    cfg.agingWindow = 1 << 12;
+    FlashCache cache(ctrl, store, cfg);
+
+    Rng rng(3);
+    for (int i = 0; i < 80000 && !cache.failed(); ++i) {
+        const Lba l = rng.uniformInt(128);
+        if (rng.bernoulli(0.5))
+            cache.write(l);
+        else
+            cache.read(l);
+        if (i % 10000 == 9999)
+            cache.checkInvariants();
+    }
+    // The run must have exercised density switching.
+    EXPECT_GT(cache.stats().densityReconfigs, 0u);
+    EXPECT_LE(cache.occupancy(), 1.0);
+}
+
+TEST(AllocationTest, SurvivesWriteRegionRetirement)
+{
+    // Retiring blocks under the allocator (including possibly its
+    // cursor block) must never wedge allocation while usable blocks
+    // remain.
+    WearParams wp;
+    wp.nominalCycles = 15;
+    wp.sigmaDecades = 0.6;
+    CellLifetimeModel lifetime(wp);
+    FlashDevice device(geom(12, 4), FlashTiming(), lifetime, 4);
+    FlashMemoryController ctrl(device);
+    NullStore store;
+    FlashCacheConfig cfg;
+    cfg.maxEccStrength = 3;
+    cfg.hotPageMigration = false;
+    FlashCache cache(ctrl, store, cfg);
+
+    Rng rng(5);
+    std::uint64_t n = 0;
+    while (n < 3000000 && !cache.failed()) {
+        const Lba l = rng.uniformInt(48);
+        if (rng.bernoulli(0.7))
+            cache.write(l);
+        else
+            cache.read(l);
+        ++n;
+    }
+    EXPECT_TRUE(cache.failed());
+    EXPECT_GE(cache.stats().retiredBlocks, 1u);
+    cache.checkInvariants();
+    // Even a failed cache answers reads (through the disk).
+    EXPECT_GE(cache.read(7).latency, 0.0);
+}
+
+TEST(LruStressTest, MatchesReferenceImplementation)
+{
+    // Randomized differential test of LruList against a deque-based
+    // reference.
+    LruList<int> lru;
+    std::deque<int> ref; // front = MRU
+    Rng rng(6);
+    for (int i = 0; i < 20000; ++i) {
+        const int k = static_cast<int>(rng.uniformInt(50));
+        const double op = rng.uniform();
+        if (op < 0.5) {
+            lru.touch(k);
+            for (auto it = ref.begin(); it != ref.end(); ++it) {
+                if (*it == k) {
+                    ref.erase(it);
+                    break;
+                }
+            }
+            ref.push_front(k);
+        } else if (op < 0.7) {
+            const bool had = lru.erase(k);
+            bool ref_had = false;
+            for (auto it = ref.begin(); it != ref.end(); ++it) {
+                if (*it == k) {
+                    ref.erase(it);
+                    ref_had = true;
+                    break;
+                }
+            }
+            EXPECT_EQ(had, ref_had);
+        } else if (op < 0.85 && !ref.empty()) {
+            EXPECT_EQ(lru.popLru(), ref.back());
+            ref.pop_back();
+        } else {
+            lru.insertCold(k);
+            for (auto it = ref.begin(); it != ref.end(); ++it) {
+                if (*it == k) {
+                    ref.erase(it);
+                    break;
+                }
+            }
+            ref.push_back(k);
+        }
+        ASSERT_EQ(lru.size(), ref.size());
+        if (!ref.empty()) {
+            ASSERT_EQ(lru.mru(), ref.front());
+            ASSERT_EQ(lru.lru(), ref.back());
+        }
+    }
+    // Full order agreement at the end.
+    std::vector<int> got(lru.begin(), lru.end());
+    std::vector<int> want(ref.begin(), ref.end());
+    EXPECT_EQ(got, want);
+}
+
+TEST(AllocationTest, UnifiedAndSplitAgreeOnTotalCapacity)
+{
+    CellLifetimeModel lifetime(noWear());
+    for (const bool split : {false, true}) {
+        FlashDevice device(geom(), FlashTiming(), lifetime, 7);
+        FlashMemoryController ctrl(device);
+        NullStore store;
+        FlashCacheConfig cfg;
+        cfg.splitRegions = split;
+        FlashCache cache(ctrl, store, cfg);
+        EXPECT_EQ(cache.capacityPages(), 16u * 8 * 2) << split;
+    }
+}
+
+} // namespace
+} // namespace flashcache

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * CRC32 tests: known vectors and detection properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "ecc/crc32.hh"
+#include "util/rng.hh"
+
+namespace flashcache {
+namespace {
+
+TEST(Crc32Test, KnownVectors)
+{
+    // Standard IEEE CRC-32 check values.
+    const char* s = "123456789";
+    EXPECT_EQ(crc32(reinterpret_cast<const std::uint8_t*>(s), 9),
+              0xCBF43926u);
+    EXPECT_EQ(crc32(nullptr, 0), 0u);
+    const std::uint8_t zero[4] = {0, 0, 0, 0};
+    EXPECT_EQ(crc32(zero, 4), 0x2144DF1Cu);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot)
+{
+    Rng rng(1);
+    std::vector<std::uint8_t> buf(1000);
+    for (auto& b : buf)
+        b = static_cast<std::uint8_t>(rng.uniformInt(256));
+    const std::uint32_t oneshot = crc32(buf.data(), buf.size());
+    std::uint32_t inc = 0;
+    inc = crc32Update(inc, buf.data(), 100);
+    inc = crc32Update(inc, buf.data() + 100, 650);
+    inc = crc32Update(inc, buf.data() + 750, 250);
+    EXPECT_EQ(inc, oneshot);
+}
+
+TEST(Crc32Test, DetectsSingleBitFlips)
+{
+    Rng rng(2);
+    std::vector<std::uint8_t> buf(2048);
+    for (auto& b : buf)
+        b = static_cast<std::uint8_t>(rng.uniformInt(256));
+    const std::uint32_t good = crc32(buf.data(), buf.size());
+    for (int trial = 0; trial < 200; ++trial) {
+        const std::size_t bit = rng.uniformInt(2048 * 8);
+        buf[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+        EXPECT_NE(crc32(buf.data(), buf.size()), good);
+        buf[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    }
+}
+
+TEST(Crc32Test, DetectsSmallBursts)
+{
+    // CRC-32 catches any burst shorter than 32 bits.
+    std::vector<std::uint8_t> buf(256, 0xA5);
+    const std::uint32_t good = crc32(buf.data(), buf.size());
+    Rng rng(3);
+    for (int trial = 0; trial < 100; ++trial) {
+        auto copy = buf;
+        const std::size_t start = rng.uniformInt(256 * 8 - 31);
+        const unsigned len = 1 + static_cast<unsigned>(rng.uniformInt(31));
+        for (unsigned i = 0; i < len; ++i) {
+            const std::size_t bit = start + i;
+            if (i == 0 || i == len - 1 || rng.bernoulli(0.5))
+                copy[bit / 8] ^= static_cast<std::uint8_t>(
+                    1u << (bit % 8));
+        }
+        EXPECT_NE(crc32(copy.data(), copy.size()), good);
+    }
+}
+
+} // namespace
+} // namespace flashcache

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Flash device model tests: geometry, program/erase discipline,
+ * density modes, latency/energy accounting, and wear-driven errors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "flash/flash_device.hh"
+#include "flash/flash_spec.hh"
+#include "flash/geometry.hh"
+
+namespace flashcache {
+namespace {
+
+FlashGeometry
+smallGeom()
+{
+    FlashGeometry g;
+    g.numBlocks = 4;
+    g.framesPerBlock = 4;
+    return g;
+}
+
+class FlashDeviceTest : public ::testing::Test
+{
+  protected:
+    FlashDeviceTest()
+        : lifetime_(), dev_(smallGeom(), FlashTiming(), lifetime_, 42)
+    {
+    }
+
+    CellLifetimeModel lifetime_;
+    FlashDevice dev_;
+};
+
+TEST(FlashGeometryTest, CapacityAndPagesPerBlock)
+{
+    FlashGeometry g; // 1024 blocks x 64 frames
+    EXPECT_EQ(g.pagesPerBlock(DensityMode::SLC), 64u);
+    EXPECT_EQ(g.pagesPerBlock(DensityMode::MLC), 128u);
+    EXPECT_EQ(g.capacityBytes(DensityMode::MLC),
+              1024ull * 128 * 2048); // 256 MB
+    EXPECT_EQ(g.capacityBytes(DensityMode::SLC),
+              g.capacityBytes(DensityMode::MLC) / 2);
+    EXPECT_EQ(g.pageBits(), (2048u + 64u) * 8u);
+}
+
+TEST(FlashGeometryTest, ForMlcCapacityRoundsUp)
+{
+    const auto g = FlashGeometry::forMlcCapacity(gib(1));
+    EXPECT_GE(g.capacityBytes(DensityMode::MLC), gib(1));
+    EXPECT_LT(g.capacityBytes(DensityMode::MLC), gib(1) + mib(1));
+    EXPECT_GE(FlashGeometry::forMlcCapacity(1).numBlocks, 1u);
+}
+
+TEST_F(FlashDeviceTest, ProgramReadEraseCycle)
+{
+    const PageAddress a{0, 0, 0};
+    EXPECT_FALSE(dev_.isProgrammed(a));
+    dev_.programPage(a);
+    EXPECT_TRUE(dev_.isProgrammed(a));
+    const auto r = dev_.readPage(a);
+    EXPECT_EQ(r.hardBitErrors, 0u); // fresh device
+    dev_.eraseBlock(0);
+    EXPECT_FALSE(dev_.isProgrammed(a));
+    dev_.programPage(a); // reprogram after erase is legal
+}
+
+TEST_F(FlashDeviceTest, DoubleProgramPanics)
+{
+    const PageAddress a{1, 2, 0};
+    dev_.programPage(a);
+    EXPECT_DEATH(dev_.programPage(a), "already-programmed");
+}
+
+TEST_F(FlashDeviceTest, ReadUnprogrammedPanics)
+{
+    EXPECT_DEATH(dev_.readPage({0, 1, 0}), "unprogrammed");
+}
+
+TEST_F(FlashDeviceTest, ModeChangeAppliesAtErase)
+{
+    EXPECT_EQ(dev_.frameMode(2, 1), DensityMode::MLC);
+    dev_.requestFrameMode(2, 1, DensityMode::SLC);
+    EXPECT_EQ(dev_.frameMode(2, 1), DensityMode::MLC); // not yet
+    dev_.eraseBlock(2);
+    EXPECT_EQ(dev_.frameMode(2, 1), DensityMode::SLC); // applied
+}
+
+TEST_F(FlashDeviceTest, SlcFrameRejectsSecondSubPage)
+{
+    dev_.requestFrameMode(3, 0, DensityMode::SLC);
+    dev_.eraseBlock(3);
+    dev_.programPage({3, 0, 0});
+    EXPECT_DEATH(dev_.programPage({3, 0, 1}), "SLC-mode frame");
+}
+
+TEST_F(FlashDeviceTest, LatenciesFollowDensityMode)
+{
+    const FlashTiming t;
+    // MLC (default) timings.
+    EXPECT_DOUBLE_EQ(dev_.programPage({0, 0, 0}), t.mlcWriteLatency);
+    EXPECT_DOUBLE_EQ(dev_.readPage({0, 0, 0}).latency, t.mlcReadLatency);
+    EXPECT_DOUBLE_EQ(dev_.eraseBlock(0), t.mlcEraseLatency);
+
+    // Reformat block 0 to all-SLC.
+    for (std::uint16_t f = 0; f < 4; ++f)
+        dev_.requestFrameMode(0, f, DensityMode::SLC);
+    dev_.eraseBlock(0);
+    EXPECT_DOUBLE_EQ(dev_.programPage({0, 0, 0}), t.slcWriteLatency);
+    EXPECT_DOUBLE_EQ(dev_.readPage({0, 0, 0}).latency, t.slcReadLatency);
+    EXPECT_DOUBLE_EQ(dev_.eraseBlock(0), t.slcEraseLatency);
+}
+
+TEST_F(FlashDeviceTest, EraseCountAndDamageAccumulate)
+{
+    EXPECT_EQ(dev_.blockEraseCount(1), 0u);
+    for (int i = 0; i < 5; ++i)
+        dev_.eraseBlock(1);
+    EXPECT_EQ(dev_.blockEraseCount(1), 5u);
+    EXPECT_DOUBLE_EQ(dev_.frameDamage(1, 0), 5.0);
+    EXPECT_DOUBLE_EQ(dev_.frameDamage(0, 0), 0.0);
+}
+
+TEST_F(FlashDeviceTest, MlcSeesMoreEffectiveWearThanSlc)
+{
+    dev_.eraseBlock(1);
+    const double slc = dev_.effectiveCycles(1, 0, DensityMode::SLC);
+    const double mlc = dev_.effectiveCycles(1, 0, DensityMode::MLC);
+    EXPECT_DOUBLE_EQ(mlc, slc * lifetime_.params().mlcWearMultiplier);
+}
+
+TEST_F(FlashDeviceTest, EnergyAccounting)
+{
+    const FlashTiming t;
+    dev_.programPage({0, 0, 0});
+    dev_.readPage({0, 0, 0});
+    const auto& s = dev_.stats();
+    EXPECT_EQ(s.programs, 1u);
+    EXPECT_EQ(s.reads, 1u);
+    const Seconds busy = t.mlcWriteLatency + t.mlcReadLatency;
+    EXPECT_DOUBLE_EQ(s.busyTime, busy);
+    EXPECT_DOUBLE_EQ(s.activeEnergy, busy * t.activePower);
+    // Over one second of wall clock, idle power covers the rest.
+    const Joules e = dev_.energyOver(1.0);
+    EXPECT_NEAR(e, busy * t.activePower + (1.0 - busy) * t.idlePower,
+                1e-12);
+}
+
+TEST(FlashDeviceWearTest, AcceleratedAgingProducesErrors)
+{
+    // Scale the endurance down so wear-out shows within a few
+    // hundred erases, as the lifetime benches do.
+    WearParams wp;
+    wp.nominalCycles = 100;
+    wp.sigmaDecades = 0.8;
+    CellLifetimeModel m(wp);
+    FlashDevice dev(smallGeom(), FlashTiming(), m, 7);
+
+    for (int i = 0; i < 3000; ++i)
+        dev.eraseBlock(0);
+    dev.programPage({0, 0, 0});
+    const auto r = dev.readPage({0, 0, 0});
+    EXPECT_GT(r.hardBitErrors, 0u);
+
+    // An SLC read of equally damaged cells sees no more errors than
+    // the MLC read did.
+    dev.requestFrameMode(0, 0, DensityMode::SLC);
+    dev.eraseBlock(0);
+    dev.programPage({0, 0, 0});
+    const auto r2 = dev.readPage({0, 0, 0});
+    EXPECT_LE(r2.hardBitErrors, r.hardBitErrors + 1);
+}
+
+TEST(FlashDeviceWearTest, DeterministicPerSeed)
+{
+    WearParams wp;
+    wp.nominalCycles = 100;
+    wp.sigmaDecades = 0.8;
+    CellLifetimeModel m(wp);
+    FlashDevice d1(smallGeom(), FlashTiming(), m, 99);
+    FlashDevice d2(smallGeom(), FlashTiming(), m, 99);
+    for (int i = 0; i < 2000; ++i) {
+        d1.eraseBlock(2);
+        d2.eraseBlock(2);
+    }
+    d1.programPage({2, 3, 0});
+    d2.programPage({2, 3, 0});
+    EXPECT_EQ(d1.readPage({2, 3, 0}).hardBitErrors,
+              d2.readPage({2, 3, 0}).hardBitErrors);
+}
+
+TEST(FlashDeviceDataTest, StoreDataRoundTrip)
+{
+    CellLifetimeModel m;
+    FlashDevice dev(smallGeom(), FlashTiming(), m, 1, 0.0, true);
+    std::vector<std::uint8_t> data(2048, 0xAB);
+    std::vector<std::uint8_t> spare(64, 0xCD);
+    dev.programPage({0, 0, 0}, data.data(), spare.data());
+    const auto* stored = dev.pageData({0, 0, 0});
+    ASSERT_NE(stored, nullptr);
+    ASSERT_EQ(stored->size(), 2048u + 64u);
+    EXPECT_EQ((*stored)[0], 0xAB);
+    EXPECT_EQ((*stored)[2048], 0xCD);
+    dev.eraseBlock(0);
+    EXPECT_EQ(dev.pageData({0, 0, 0}), nullptr);
+}
+
+TEST(FlashAreaModelTest, CapacityScalesWithAreaAndDensity)
+{
+    FlashAreaModel area;
+    // Anchor from [12]: ~1 GB of MLC in 146 mm^2.
+    EXPECT_NEAR(static_cast<double>(area.capacityBytes(146.0, 0.0)),
+                static_cast<double>(gib(1)), 1e6);
+    // Pure SLC halves capacity.
+    EXPECT_NEAR(static_cast<double>(area.capacityBytes(146.0, 1.0)),
+                static_cast<double>(gib(1)) / 2, 1e6);
+    // Round trip.
+    EXPECT_NEAR(area.areaForMlcBytes(area.capacityBytes(50.0, 0.0)), 50.0,
+                0.01);
+    EXPECT_NEAR(area.areaForSlcBytes(area.capacityBytes(50.0, 1.0)), 50.0,
+                0.01);
+}
+
+TEST(ItrsTest, RoadmapRowsSane)
+{
+    const auto& rows = itrsRoadmap();
+    EXPECT_EQ(rows.size(), 5u);
+    for (std::size_t i = 1; i < rows.size(); ++i) {
+        // Density improves (area per bit shrinks) over time.
+        EXPECT_LT(rows[i].slcUm2PerBit, rows[i - 1].slcUm2PerBit);
+        EXPECT_LT(rows[i].mlcUm2PerBit, rows[i - 1].mlcUm2PerBit);
+        // MLC is always denser than SLC; SLC outlasts MLC.
+        EXPECT_LT(rows[i].mlcUm2PerBit, rows[i].slcUm2PerBit);
+        EXPECT_GT(rows[i].slcEnduranceCycles, rows[i].mlcEnduranceCycles);
+    }
+}
+
+} // namespace
+} // namespace flashcache

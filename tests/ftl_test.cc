@@ -1,0 +1,148 @@
+/**
+ * @file
+ * FTL (flash-as-SSD) tests: mapping correctness, out-of-place write
+ * discipline, GC behaviour without eviction, overprovisioning
+ * pressure, and the section 2.2 metadata-overhead comparison against
+ * the disk cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/flash_cache.hh"
+#include "ssd/ftl.hh"
+#include "util/rng.hh"
+
+namespace flashcache {
+namespace {
+
+FlashGeometry
+geom(std::uint32_t blocks, std::uint16_t frames = 8)
+{
+    FlashGeometry g;
+    g.numBlocks = blocks;
+    g.framesPerBlock = frames;
+    return g;
+}
+
+struct SsdStack
+{
+    explicit SsdStack(std::uint64_t logical_pages,
+                      std::uint32_t blocks = 16)
+        : lifetime(noWear()),
+          device(geom(blocks), FlashTiming(), lifetime, 321),
+          controller(device),
+          ftl(controller, logical_pages)
+    {
+    }
+
+    static WearParams
+    noWear()
+    {
+        WearParams wp;
+        wp.nominalCycles = 1e9;
+        return wp;
+    }
+
+    CellLifetimeModel lifetime;
+    FlashDevice device;
+    FlashMemoryController controller;
+    FlashTranslationLayer ftl;
+};
+
+TEST(FtlTest, CapacityAndUtilization)
+{
+    SsdStack s(200); // 16 x 8 x 2 = 256 physical pages
+    EXPECT_EQ(s.ftl.physicalPages(), 256u);
+    EXPECT_EQ(s.ftl.logicalPages(), 200u);
+    EXPECT_NEAR(s.ftl.utilization(), 200.0 / 256.0, 1e-12);
+}
+
+TEST(FtlTest, RejectsFullUtilization)
+{
+    CellLifetimeModel lifetime;
+    FlashDevice device(geom(16), FlashTiming(), lifetime, 1);
+    FlashMemoryController ctrl(device);
+    EXPECT_DEATH(FlashTranslationLayer(ctrl, 250), "overprovisioning");
+}
+
+TEST(FtlTest, ReadOfUnwrittenPageIsFree)
+{
+    SsdStack s(100);
+    EXPECT_DOUBLE_EQ(s.ftl.read(5), 0.0);
+}
+
+TEST(FtlTest, WriteThenReadAccessesFlash)
+{
+    SsdStack s(100);
+    const Seconds w = s.ftl.write(7);
+    EXPECT_GT(w, 0.0);
+    const Seconds r = s.ftl.read(7);
+    EXPECT_GT(r, FlashTiming().mlcReadLatency - 1e-12);
+    s.ftl.checkInvariants();
+}
+
+TEST(FtlTest, OverwritesNeverLoseTheMapping)
+{
+    SsdStack s(100);
+    Rng rng(2);
+    for (int i = 0; i < 5000; ++i)
+        s.ftl.write(rng.uniformInt(100));
+    s.ftl.checkInvariants();
+    for (Lba l = 0; l < 100; ++l)
+        EXPECT_GT(s.ftl.read(l), 0.0) << l;
+}
+
+TEST(FtlTest, GcReclaimsWithoutDataLoss)
+{
+    SsdStack s(180);
+    Rng rng(3);
+    // Fill, then sustained overwrites to force many GC cycles.
+    for (Lba l = 0; l < 180; ++l)
+        s.ftl.write(l);
+    for (int i = 0; i < 20000; ++i)
+        s.ftl.write(rng.uniformInt(180));
+    EXPECT_GT(s.ftl.stats().gcRuns, 10u);
+    EXPECT_GT(s.ftl.stats().gcPageCopies, 0u);
+    s.ftl.checkInvariants();
+}
+
+TEST(FtlTest, GcOverheadExplodesWithUtilization)
+{
+    // The Figure 1(b) / eNVy result on the FTL itself: the same
+    // overwrite traffic costs far more GC at 92% utilization than at
+    // 55%.
+    auto overhead = [](std::uint64_t logical) {
+        SsdStack s(logical);
+        Rng rng(4);
+        for (Lba l = 0; l < logical; ++l)
+            s.ftl.write(l);
+        for (int i = 0; i < 20000; ++i)
+            s.ftl.write(rng.uniformInt(logical));
+        return s.ftl.stats().gcOverheadFraction();
+    };
+    const double low = overhead(140);  // ~55%
+    const double high = overhead(235); // ~92%
+    EXPECT_GT(high, 2.0 * low);
+}
+
+TEST(FtlTest, MappingTableScalesWithLogicalSpaceNotUse)
+{
+    // Section 2.2: the SSD's metadata is proportional to the full
+    // logical space; the disk cache's is bounded by the flash size.
+    SsdStack s(200);
+    EXPECT_EQ(s.ftl.mappingTableBytes(), 200u * 8u);
+    // A freshly created FTL with nothing written pays the same.
+    SsdStack empty(200);
+    EXPECT_EQ(empty.ftl.mappingTableBytes(),
+              s.ftl.mappingTableBytes());
+}
+
+TEST(FtlTest, OutOfRangeAccessIsFatal)
+{
+    SsdStack s(100);
+    EXPECT_DEATH(s.ftl.read(100), "beyond exported capacity");
+    EXPECT_DEATH(s.ftl.write(5000), "beyond exported capacity");
+}
+
+} // namespace
+} // namespace flashcache

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Warm-restart persistence tests (section 3: the management tables
+ * are "read from the hard disk drive and stored in DRAM at
+ * run-time"): a saved device+cache pair restored into fresh objects
+ * must behave identically — same hits, same wear, same contents.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/flash_cache.hh"
+#include "util/rng.hh"
+
+namespace flashcache {
+namespace {
+
+class NullStore : public BackingStore
+{
+  public:
+    Seconds
+    read(Lba lba) override
+    {
+        reads.push_back(lba);
+        return milliseconds(4.2);
+    }
+
+    Seconds write(Lba) override { return milliseconds(4.2); }
+
+    std::vector<Lba> reads;
+};
+
+FlashGeometry
+geom()
+{
+    FlashGeometry g;
+    g.numBlocks = 12;
+    g.framesPerBlock = 8;
+    return g;
+}
+
+TEST(PersistenceTest, WarmRestartPreservesCacheContents)
+{
+    CellLifetimeModel lifetime;
+    std::stringstream dev_state, cache_state;
+    std::vector<Lba> hot;
+    for (Lba l = 0; l < 50; ++l)
+        hot.push_back(l * 3);
+
+    std::vector<Lba> cached_before;
+    {
+        FlashDevice device(geom(), FlashTiming(), lifetime, 99);
+        FlashMemoryController ctrl(device);
+        NullStore store;
+        FlashCache cache(ctrl, store);
+
+        Rng rng(1);
+        for (int i = 0; i < 8000; ++i) {
+            const Lba l = hot[rng.uniformInt(hot.size())];
+            if (rng.bernoulli(0.3))
+                cache.write(l);
+            else
+                cache.read(l);
+        }
+        cache.flushAll();
+        cache.checkInvariants();
+        for (const Lba l : hot) {
+            if (cache.fcht().find(l) != Fcht::npos)
+                cached_before.push_back(l);
+        }
+        device.saveState(dev_state);
+        cache.saveState(cache_state);
+    }
+    ASSERT_GT(cached_before.size(), 10u);
+
+    // "Reboot": fresh objects, state loaded back.
+    FlashDevice device(geom(), FlashTiming(), lifetime, 99);
+    FlashMemoryController ctrl(device);
+    NullStore store;
+    FlashCache cache(ctrl, store);
+    device.loadState(dev_state);
+    cache.loadState(cache_state);
+    cache.checkInvariants();
+
+    // Exactly the pages that were cached before the restart still
+    // hit, without touching the disk.
+    for (const Lba l : cached_before)
+        EXPECT_TRUE(cache.read(l).hit) << l;
+    EXPECT_TRUE(store.reads.empty());
+}
+
+TEST(PersistenceTest, WearSurvivesRestart)
+{
+    WearParams wp;
+    wp.nominalCycles = 200;
+    wp.sigmaDecades = 0.8;
+    CellLifetimeModel lifetime(wp);
+    std::stringstream dev_state;
+
+    unsigned errors_before;
+    {
+        FlashDevice device(geom(), FlashTiming(), lifetime, 7);
+        for (int i = 0; i < 4000; ++i)
+            device.eraseBlock(3);
+        device.programPage({3, 2, 0});
+        errors_before = device.readPage({3, 2, 0}).hardBitErrors;
+        EXPECT_GT(errors_before, 0u);
+        device.saveState(dev_state);
+    }
+
+    FlashDevice device(geom(), FlashTiming(), lifetime, 7);
+    device.loadState(dev_state);
+    EXPECT_EQ(device.blockEraseCount(3), 4000u);
+    EXPECT_DOUBLE_EQ(device.frameDamage(3, 2), 4000.0);
+    EXPECT_TRUE(device.isProgrammed({3, 2, 0}));
+    EXPECT_EQ(device.readPage({3, 2, 0}).hardBitErrors, errors_before);
+}
+
+TEST(PersistenceTest, DensityModesSurviveRestart)
+{
+    CellLifetimeModel lifetime;
+    std::stringstream dev_state;
+    {
+        FlashDevice device(geom(), FlashTiming(), lifetime, 5);
+        for (std::uint16_t f = 0; f < 8; ++f)
+            device.requestFrameMode(2, f, DensityMode::SLC);
+        device.eraseBlock(2);
+        device.requestFrameMode(4, 1, DensityMode::SLC); // still pending
+        device.saveState(dev_state);
+    }
+    FlashDevice device(geom(), FlashTiming(), lifetime, 5);
+    device.loadState(dev_state);
+    EXPECT_EQ(device.frameMode(2, 0), DensityMode::SLC);
+    EXPECT_EQ(device.frameMode(4, 1), DensityMode::MLC);
+    device.eraseBlock(4); // pending request applies after restart
+    EXPECT_EQ(device.frameMode(4, 1), DensityMode::SLC);
+}
+
+TEST(PersistenceTest, RealDataPayloadsSurviveRestart)
+{
+    WearParams no_wear;
+    no_wear.nominalCycles = 1e9;
+    CellLifetimeModel lifetime(no_wear);
+    std::stringstream dev_state;
+
+    std::vector<std::uint8_t> content(2048);
+    for (std::size_t i = 0; i < content.size(); ++i)
+        content[i] = static_cast<std::uint8_t>(i * 31);
+
+    {
+        FlashDevice device(geom(), FlashTiming(), lifetime, 3, 0.0,
+                           true);
+        FlashMemoryController ctrl(device);
+        PageDescriptor desc{4, DensityMode::MLC};
+        ctrl.writePageReal({0, 0, 0}, desc, content.data());
+        device.saveState(dev_state);
+    }
+
+    FlashDevice device(geom(), FlashTiming(), lifetime, 3, 0.0, true);
+    FlashMemoryController ctrl(device);
+    device.loadState(dev_state);
+    std::vector<std::uint8_t> out(2048);
+    PageDescriptor desc{4, DensityMode::MLC};
+    const auto res = ctrl.readPageReal({0, 0, 0}, desc, out.data());
+    EXPECT_NE(res.status, ReadStatus::Uncorrectable);
+    EXPECT_EQ(out, content);
+}
+
+TEST(PersistenceTest, GeometryMismatchIsFatal)
+{
+    CellLifetimeModel lifetime;
+    std::stringstream dev_state;
+    {
+        FlashDevice device(geom(), FlashTiming(), lifetime, 1);
+        device.saveState(dev_state);
+    }
+    FlashGeometry other = geom();
+    other.numBlocks = 6;
+    FlashDevice device(other, FlashTiming(), lifetime, 1);
+    EXPECT_DEATH(device.loadState(dev_state), "geometry mismatch");
+}
+
+TEST(PersistenceTest, CacheKeepsWorkingAfterRestart)
+{
+    // The restored cache must keep allocating, GCing and evicting
+    // correctly — cursors and free lists were part of the state.
+    CellLifetimeModel lifetime;
+    std::stringstream dev_state, cache_state;
+    {
+        FlashDevice device(geom(), FlashTiming(), lifetime, 12);
+        FlashMemoryController ctrl(device);
+        NullStore store;
+        FlashCache cache(ctrl, store);
+        Rng rng(2);
+        for (int i = 0; i < 5000; ++i) {
+            const Lba l = rng.uniformInt(150);
+            if (rng.bernoulli(0.4))
+                cache.write(l);
+            else
+                cache.read(l);
+        }
+        device.saveState(dev_state);
+        cache.saveState(cache_state);
+    }
+
+    FlashDevice device(geom(), FlashTiming(), lifetime, 12);
+    FlashMemoryController ctrl(device);
+    NullStore store;
+    FlashCache cache(ctrl, store);
+    device.loadState(dev_state);
+    cache.loadState(cache_state);
+
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        const Lba l = rng.uniformInt(400); // larger set: force churn
+        if (rng.bernoulli(0.4))
+            cache.write(l);
+        else
+            cache.read(l);
+    }
+    cache.checkInvariants();
+    EXPECT_GT(cache.stats().gcRuns + cache.stats().evictions, 0u);
+}
+
+
+TEST(PersistenceTest, TruncatedStateIsFatal)
+{
+    CellLifetimeModel lifetime;
+    std::stringstream dev_state;
+    {
+        FlashDevice device(geom(), FlashTiming(), lifetime, 1);
+        device.saveState(dev_state);
+    }
+    const std::string full = dev_state.str();
+    std::stringstream truncated(full.substr(0, full.size() / 2));
+    FlashDevice device(geom(), FlashTiming(), lifetime, 1);
+    EXPECT_DEATH(device.loadState(truncated), "truncated");
+}
+
+TEST(PersistenceTest, WrongMagicIsFatal)
+{
+    CellLifetimeModel lifetime;
+    std::stringstream cache_junk("NOTMAGICxxxxxxxxxxxxxxxx");
+    FlashDevice device(geom(), FlashTiming(), lifetime, 1);
+    FlashMemoryController ctrl(device);
+    class NS : public BackingStore
+    {
+      public:
+        Seconds read(Lba) override { return 0; }
+        Seconds write(Lba) override { return 0; }
+    } store;
+    FlashCache cache(ctrl, store);
+    EXPECT_DEATH(cache.loadState(cache_junk), "magic");
+}
+
+TEST(PersistenceTest, SplitModeMismatchIsFatal)
+{
+    CellLifetimeModel lifetime;
+    std::stringstream dev_state, cache_state;
+    class NS : public BackingStore
+    {
+      public:
+        Seconds read(Lba) override { return 0; }
+        Seconds write(Lba) override { return 0; }
+    } store;
+    {
+        FlashDevice device(geom(), FlashTiming(), lifetime, 1);
+        FlashMemoryController ctrl(device);
+        FlashCache cache(ctrl, store); // split (default)
+        cache.saveState(cache_state);
+    }
+    FlashDevice device(geom(), FlashTiming(), lifetime, 1);
+    FlashMemoryController ctrl(device);
+    FlashCacheConfig cfg;
+    cfg.splitRegions = false;
+    FlashCache unified(ctrl, store, cfg);
+    EXPECT_DEATH(unified.loadState(cache_state), "split-mode");
+}
+
+} // namespace
+} // namespace flashcache

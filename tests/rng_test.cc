@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Tests for the deterministic RNG and its distribution samplers,
+ * including shape checks on the Zipf sampler the workload generators
+ * depend on (Table 4 of the paper sweeps alpha = 0.8, 1.2, 1.6).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace flashcache {
+namespace {
+
+TEST(RngTest, DeterministicForSeed)
+{
+    Rng a(1234), b(1234);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, UniformInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(RngTest, UniformIntCoversSupport)
+{
+    Rng rng(7);
+    std::map<std::uint64_t, int> counts;
+    for (int i = 0; i < 6000; ++i)
+        ++counts[rng.uniformInt(6)];
+    EXPECT_EQ(counts.size(), 6u);
+    for (const auto& [v, c] : counts) {
+        EXPECT_LT(v, 6u);
+        EXPECT_GT(c, 800);
+        EXPECT_LT(c, 1200);
+    }
+}
+
+TEST(RngTest, NormalMoments)
+{
+    Rng rng(42);
+    RunningStat s;
+    for (int i = 0; i < 200000; ++i)
+        s.add(rng.normal(3.0, 2.0));
+    EXPECT_NEAR(s.mean(), 3.0, 0.05);
+    EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMean)
+{
+    Rng rng(42);
+    RunningStat s;
+    for (int i = 0; i < 200000; ++i)
+        s.add(rng.exponential(0.1));
+    EXPECT_NEAR(s.mean(), 10.0, 0.2);
+}
+
+TEST(RngTest, PoissonMoments)
+{
+    Rng rng(42);
+    for (double mean : {0.5, 4.0, 200.0}) {
+        RunningStat s;
+        for (int i = 0; i < 50000; ++i)
+            s.add(static_cast<double>(rng.poisson(mean)));
+        EXPECT_NEAR(s.mean(), mean, 0.05 * mean + 0.05) << mean;
+    }
+}
+
+TEST(RngTest, BernoulliRate)
+{
+    Rng rng(9);
+    int yes = 0;
+    for (int i = 0; i < 100000; ++i)
+        yes += rng.bernoulli(0.2);
+    EXPECT_NEAR(yes / 100000.0, 0.2, 0.01);
+}
+
+TEST(RngTest, ShufflePreservesElements)
+{
+    Rng rng(5);
+    std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+    auto sorted = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, sorted);
+}
+
+/** Zipf sampler property sweep across the paper's alpha values. */
+class ZipfTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ZipfTest, RankZeroMostPopular)
+{
+    const double alpha = GetParam();
+    Rng rng(11);
+    ZipfSampler zipf(1000, alpha);
+    std::vector<int> counts(1000, 0);
+    for (int i = 0; i < 200000; ++i)
+        ++counts[zipf.sample(rng)];
+    // Rank 0 should dominate every sufficiently distant rank.
+    EXPECT_GT(counts[0], counts[10]);
+    EXPECT_GT(counts[0], counts[100]);
+}
+
+TEST_P(ZipfTest, EmpiricalTailExponent)
+{
+    const double alpha = GetParam();
+    Rng rng(13);
+    const std::uint64_t n = 10000;
+    ZipfSampler zipf(n, alpha);
+    std::vector<double> counts(n, 0.0);
+    const int samples = 400000;
+    for (int i = 0; i < samples; ++i)
+        counts[zipf.sample(rng)] += 1.0;
+    // Regress log count against log rank over a mid-range window;
+    // slope should approximate -alpha.
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    int m = 0;
+    for (std::uint64_t k = 2; k <= 60; ++k) {
+        if (counts[k] < 8)
+            continue;
+        const double x = std::log(static_cast<double>(k + 1));
+        const double y = std::log(counts[k]);
+        sx += x; sy += y; sxx += x * x; sxy += x * y;
+        ++m;
+    }
+    ASSERT_GT(m, 10);
+    const double slope = (m * sxy - sx * sy) / (m * sxx - sx * sx);
+    EXPECT_NEAR(-slope, alpha, 0.25) << "alpha = " << alpha;
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperAlphas, ZipfTest,
+                         ::testing::Values(0.8, 1.2, 1.6));
+
+TEST(ZipfTest, AlphaZeroIsUniform)
+{
+    Rng rng(3);
+    ZipfSampler zipf(50, 0.0);
+    std::vector<int> counts(50, 0);
+    for (int i = 0; i < 50000; ++i)
+        ++counts[zipf.sample(rng)];
+    for (int c : counts)
+        EXPECT_NEAR(c, 1000, 200);
+}
+
+TEST(ZipfTest, AlphaOneSpecialCase)
+{
+    Rng rng(3);
+    ZipfSampler zipf(100, 1.0);
+    std::vector<int> counts(100, 0);
+    for (int i = 0; i < 100000; ++i) {
+        const auto k = zipf.sample(rng);
+        ASSERT_LT(k, 100u);
+        ++counts[k];
+    }
+    // P(0)/P(9) should be about 10 for alpha = 1.
+    EXPECT_GT(counts[0], 4 * counts[9]);
+}
+
+} // namespace
+} // namespace flashcache

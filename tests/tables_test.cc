@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the DRAM-resident management tables (FCHT/FBST) and the
+ * generic LRU ordering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/lru.hh"
+#include "core/tables.hh"
+#include "util/rng.hh"
+
+#include <unordered_map>
+
+namespace flashcache {
+namespace {
+
+TEST(FchtTest, InsertFindErase)
+{
+    Fcht t(64);
+    EXPECT_EQ(t.find(42), Fcht::npos);
+    t.insert(42, 7);
+    t.insert(43, 8);
+    EXPECT_EQ(t.find(42), 7u);
+    EXPECT_EQ(t.find(43), 8u);
+    EXPECT_EQ(t.size(), 2u);
+    EXPECT_TRUE(t.erase(42));
+    EXPECT_FALSE(t.erase(42));
+    EXPECT_EQ(t.find(42), Fcht::npos);
+    EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(FchtTest, UpdateRedirects)
+{
+    Fcht t(8);
+    t.insert(10, 1);
+    t.update(10, 99);
+    EXPECT_EQ(t.find(10), 99u);
+}
+
+TEST(FchtTest, DoubleInsertPanics)
+{
+    Fcht t(8);
+    t.insert(5, 1);
+    EXPECT_DEATH(t.insert(5, 2), "double insert");
+}
+
+TEST(FchtTest, UpdateMissingPanics)
+{
+    Fcht t(8);
+    EXPECT_DEATH(t.update(5, 1), "missing LBA");
+}
+
+TEST(FchtTest, ManyEntriesAgainstReference)
+{
+    Fcht t(101); // non power of two buckets
+    std::unordered_map<Lba, std::uint64_t> ref;
+    Rng rng(3);
+    for (int i = 0; i < 5000; ++i) {
+        const Lba lba = rng.uniformInt(2000);
+        const auto it = ref.find(lba);
+        if (it == ref.end()) {
+            t.insert(lba, i);
+            ref[lba] = i;
+        } else if (rng.bernoulli(0.5)) {
+            t.update(lba, i);
+            it->second = i;
+        } else {
+            t.erase(lba);
+            ref.erase(it);
+        }
+    }
+    EXPECT_EQ(t.size(), ref.size());
+    for (const auto& [lba, id] : ref)
+        EXPECT_EQ(t.find(lba), id);
+}
+
+TEST(FchtTest, ProbeLengthShrinksWithMoreBuckets)
+{
+    // Section 3.1: enough hash entries and lookups stay short.
+    auto fill_probe = [](std::size_t buckets) {
+        Fcht t(buckets);
+        for (Lba l = 0; l < 4096; ++l)
+            t.insert(l, l);
+        for (Lba l = 0; l < 4096; ++l)
+            t.find(l);
+        return t.avgProbeLength();
+    };
+    const double p4 = fill_probe(4);
+    const double p128 = fill_probe(128);
+    const double p4096 = fill_probe(4096);
+    EXPECT_GT(p4, p128);
+    EXPECT_GT(p128, p4096);
+    EXPECT_LT(p4096, 2.0);
+}
+
+TEST(FbstTest, WearOutCostFunction)
+{
+    FbstEntry e;
+    e.totalEcc = 3;
+    e.slcFrames = 2;
+    // wear = N_erase + k1 * TotalECC + k2 * TotalSLC.
+    EXPECT_DOUBLE_EQ(e.wearOut(100, 2.0, 40.0), 100 + 6.0 + 80.0);
+    // k2 dominates k1: a density switch signals more wear.
+    FbstEntry ecc_heavy;
+    ecc_heavy.totalEcc = 2;
+    FbstEntry slc_heavy;
+    slc_heavy.slcFrames = 2;
+    EXPECT_GT(slc_heavy.wearOut(0, 2.0, 40.0),
+              ecc_heavy.wearOut(0, 2.0, 40.0));
+}
+
+TEST(LruListTest, OrderAndEviction)
+{
+    LruList<int> lru;
+    EXPECT_TRUE(lru.empty());
+    lru.touch(1);
+    lru.touch(2);
+    lru.touch(3);
+    EXPECT_EQ(lru.lru(), 1);
+    EXPECT_EQ(lru.mru(), 3);
+    lru.touch(1); // 1 becomes MRU
+    EXPECT_EQ(lru.lru(), 2);
+    EXPECT_EQ(lru.popLru(), 2);
+    EXPECT_EQ(lru.size(), 2u);
+    EXPECT_FALSE(lru.contains(2));
+}
+
+TEST(LruListTest, EraseAndInsertCold)
+{
+    LruList<int> lru;
+    lru.touch(1);
+    lru.touch(2);
+    EXPECT_TRUE(lru.erase(1));
+    EXPECT_FALSE(lru.erase(1));
+    lru.insertCold(9);
+    EXPECT_EQ(lru.lru(), 9);
+    EXPECT_EQ(lru.mru(), 2);
+}
+
+TEST(LruListTest, IterationMruToLru)
+{
+    LruList<int> lru;
+    for (int i = 0; i < 5; ++i)
+        lru.touch(i);
+    std::vector<int> seen(lru.begin(), lru.end());
+    EXPECT_EQ(seen, (std::vector<int>{4, 3, 2, 1, 0}));
+}
+
+TEST(LruListTest, EmptyAccessPanics)
+{
+    LruList<int> lru;
+    EXPECT_DEATH(lru.lru(), "empty");
+}
+
+TEST(FgstTest, Aggregates)
+{
+    Fgst g;
+    g.reads.hit();
+    g.reads.hit();
+    g.reads.miss();
+    g.hitLatency.add(1e-4);
+    g.hitLatency.add(3e-4);
+    g.missPenalty.add(4.2e-3);
+    EXPECT_NEAR(g.missRate(), 1.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(g.avgHitLatency(), 2e-4);
+    EXPECT_DOUBLE_EQ(g.avgMissPenalty(), 4.2e-3);
+}
+
+} // namespace
+} // namespace flashcache

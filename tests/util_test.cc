@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for the util substrate: statistics accumulators,
+ * histograms, and the numeric helpers backing the reliability model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/mathx.hh"
+#include "util/stats.hh"
+#include "util/types.hh"
+
+namespace flashcache {
+namespace {
+
+TEST(UnitsTest, ConvertsToSeconds)
+{
+    EXPECT_DOUBLE_EQ(nanoseconds(50), 50e-9);
+    EXPECT_DOUBLE_EQ(microseconds(25), 25e-6);
+    EXPECT_DOUBLE_EQ(milliseconds(1.5), 1.5e-3);
+    EXPECT_EQ(kib(2), 2048u);
+    EXPECT_EQ(mib(1), 1048576u);
+    EXPECT_EQ(gib(2), 2ull << 30);
+}
+
+TEST(RunningStatTest, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatTest, MeanAndVariance)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatTest, ResetClears)
+{
+    RunningStat s;
+    s.add(1.0);
+    s.add(2.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(RatioStatTest, Rates)
+{
+    RatioStat r;
+    EXPECT_DOUBLE_EQ(r.missRate(), 0.0);
+    for (int i = 0; i < 3; ++i)
+        r.hit();
+    r.miss();
+    EXPECT_EQ(r.total(), 4u);
+    EXPECT_DOUBLE_EQ(r.missRate(), 0.25);
+    EXPECT_DOUBLE_EQ(r.hitRate(), 0.75);
+}
+
+TEST(HistogramTest, BinningAndClamping)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(5.5);
+    h.add(-3.0);  // clamps into bin 0
+    h.add(42.0);  // clamps into last bin
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(5), 1u);
+    EXPECT_EQ(h.binCount(9), 1u);
+}
+
+TEST(HistogramTest, Percentile)
+{
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(i + 0.5);
+    EXPECT_NEAR(h.percentile(0.5), 50.0, 1.5);
+    EXPECT_NEAR(h.percentile(0.99), 99.0, 1.5);
+}
+
+TEST(MathxTest, NormalCdfKnownValues)
+{
+    EXPECT_NEAR(normalCdf(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(normalCdf(1.0), 0.8413447460685429, 1e-9);
+    EXPECT_NEAR(normalCdf(-1.96), 0.024997895, 1e-6);
+}
+
+TEST(MathxTest, NormalCdfInvRoundTrip)
+{
+    for (double p : {1e-6, 1e-4, 0.01, 0.3, 0.5, 0.7, 0.99, 1.0 - 1e-6}) {
+        const double x = normalCdfInv(p);
+        EXPECT_NEAR(normalCdf(x), p, 1e-9) << "p = " << p;
+    }
+}
+
+TEST(MathxTest, LogChoose)
+{
+    EXPECT_NEAR(logChoose(5, 2), std::log(10.0), 1e-12);
+    EXPECT_NEAR(logChoose(52, 5), std::log(2598960.0), 1e-9);
+    EXPECT_EQ(logChoose(3, 7), -std::numeric_limits<double>::infinity());
+}
+
+TEST(MathxTest, BinomialTailMatchesDirectSum)
+{
+    // Small case computable exactly: n = 10, p = 0.3, P(X > 2).
+    const double p = 0.3;
+    double direct = 0.0;
+    for (unsigned k = 3; k <= 10; ++k) {
+        direct += std::exp(logChoose(10, k)) * std::pow(p, k) *
+            std::pow(1 - p, 10 - k);
+    }
+    EXPECT_NEAR(binomialTailAbove(10, p, 2), direct, 1e-12);
+}
+
+TEST(MathxTest, BinomialTailEdgeCases)
+{
+    EXPECT_DOUBLE_EQ(binomialTailAbove(100, 0.0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(binomialTailAbove(100, 1.0, 99), 1.0);
+    EXPECT_DOUBLE_EQ(binomialTailAbove(100, 1.0, 100), 0.0);
+    EXPECT_DOUBLE_EQ(binomialTailAbove(100, 0.5, 100), 0.0);
+}
+
+TEST(MathxTest, BinomialTailMonotoneInThreshold)
+{
+    double prev = 1.0;
+    for (unsigned t = 0; t < 12; ++t) {
+        const double v = binomialTailAbove(16384, 1e-4, t);
+        EXPECT_LE(v, prev);
+        prev = v;
+    }
+}
+
+} // namespace
+} // namespace flashcache
