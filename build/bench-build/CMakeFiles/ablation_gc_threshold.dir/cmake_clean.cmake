@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_gc_threshold"
+  "../bench/ablation_gc_threshold.pdb"
+  "CMakeFiles/ablation_gc_threshold.dir/ablation_gc_threshold.cc.o"
+  "CMakeFiles/ablation_gc_threshold.dir/ablation_gc_threshold.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gc_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_split_fraction"
+  "../bench/ablation_split_fraction.pdb"
+  "CMakeFiles/ablation_split_fraction.dir/ablation_split_fraction.cc.o"
+  "CMakeFiles/ablation_split_fraction.dir/ablation_split_fraction.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_split_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

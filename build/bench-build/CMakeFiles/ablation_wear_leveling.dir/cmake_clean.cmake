@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_wear_leveling"
+  "../bench/ablation_wear_leveling.pdb"
+  "CMakeFiles/ablation_wear_leveling.dir/ablation_wear_leveling.cc.o"
+  "CMakeFiles/ablation_wear_leveling.dir/ablation_wear_leveling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wear_leveling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

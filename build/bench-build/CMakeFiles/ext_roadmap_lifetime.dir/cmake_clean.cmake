@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_roadmap_lifetime"
+  "../bench/ext_roadmap_lifetime.pdb"
+  "CMakeFiles/ext_roadmap_lifetime.dir/ext_roadmap_lifetime.cc.o"
+  "CMakeFiles/ext_roadmap_lifetime.dir/ext_roadmap_lifetime.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_roadmap_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

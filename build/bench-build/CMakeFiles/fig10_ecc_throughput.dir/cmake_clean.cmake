@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_ecc_throughput"
+  "../bench/fig10_ecc_throughput.pdb"
+  "CMakeFiles/fig10_ecc_throughput.dir/fig10_ecc_throughput.cc.o"
+  "CMakeFiles/fig10_ecc_throughput.dir/fig10_ecc_throughput.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_ecc_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

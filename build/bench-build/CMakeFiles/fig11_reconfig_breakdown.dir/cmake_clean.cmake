@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_reconfig_breakdown"
+  "../bench/fig11_reconfig_breakdown.pdb"
+  "CMakeFiles/fig11_reconfig_breakdown.dir/fig11_reconfig_breakdown.cc.o"
+  "CMakeFiles/fig11_reconfig_breakdown.dir/fig11_reconfig_breakdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_reconfig_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_lifetime"
+  "../bench/fig12_lifetime.pdb"
+  "CMakeFiles/fig12_lifetime.dir/fig12_lifetime.cc.o"
+  "CMakeFiles/fig12_lifetime.dir/fig12_lifetime.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

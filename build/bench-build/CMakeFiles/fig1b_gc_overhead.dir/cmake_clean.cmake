@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1b_gc_overhead"
+  "../bench/fig1b_gc_overhead.pdb"
+  "CMakeFiles/fig1b_gc_overhead.dir/fig1b_gc_overhead.cc.o"
+  "CMakeFiles/fig1b_gc_overhead.dir/fig1b_gc_overhead.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1b_gc_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

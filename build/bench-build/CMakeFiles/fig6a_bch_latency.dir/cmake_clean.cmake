@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6a_bch_latency"
+  "../bench/fig6a_bch_latency.pdb"
+  "CMakeFiles/fig6a_bch_latency.dir/fig6a_bch_latency.cc.o"
+  "CMakeFiles/fig6a_bch_latency.dir/fig6a_bch_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_bch_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

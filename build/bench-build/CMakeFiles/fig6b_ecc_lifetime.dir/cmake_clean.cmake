@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6b_ecc_lifetime"
+  "../bench/fig6b_ecc_lifetime.pdb"
+  "CMakeFiles/fig6b_ecc_lifetime.dir/fig6b_ecc_lifetime.cc.o"
+  "CMakeFiles/fig6b_ecc_lifetime.dir/fig6b_ecc_lifetime.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_ecc_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

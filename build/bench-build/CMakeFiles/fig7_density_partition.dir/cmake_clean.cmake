@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_density_partition"
+  "../bench/fig7_density_partition.pdb"
+  "CMakeFiles/fig7_density_partition.dir/fig7_density_partition.cc.o"
+  "CMakeFiles/fig7_density_partition.dir/fig7_density_partition.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_density_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

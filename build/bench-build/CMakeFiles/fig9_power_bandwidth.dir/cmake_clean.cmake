@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_power_bandwidth"
+  "../bench/fig9_power_bandwidth.pdb"
+  "CMakeFiles/fig9_power_bandwidth.dir/fig9_power_bandwidth.cc.o"
+  "CMakeFiles/fig9_power_bandwidth.dir/fig9_power_bandwidth.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_power_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

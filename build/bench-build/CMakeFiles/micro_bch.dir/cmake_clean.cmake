@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_bch"
+  "../bench/micro_bch.pdb"
+  "CMakeFiles/micro_bch.dir/micro_bch.cc.o"
+  "CMakeFiles/micro_bch.dir/micro_bch.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_bch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/motivation_ssd_vs_cache"
+  "../bench/motivation_ssd_vs_cache.pdb"
+  "CMakeFiles/motivation_ssd_vs_cache.dir/motivation_ssd_vs_cache.cc.o"
+  "CMakeFiles/motivation_ssd_vs_cache.dir/motivation_ssd_vs_cache.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motivation_ssd_vs_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for motivation_ssd_vs_cache.
+# This may be replaced when dependencies are built.

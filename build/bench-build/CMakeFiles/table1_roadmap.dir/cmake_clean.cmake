@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_roadmap"
+  "../bench/table1_roadmap.pdb"
+  "CMakeFiles/table1_roadmap.dir/table1_roadmap.cc.o"
+  "CMakeFiles/table1_roadmap.dir/table1_roadmap.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_roadmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

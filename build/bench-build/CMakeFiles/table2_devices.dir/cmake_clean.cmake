@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_devices"
+  "../bench/table2_devices.pdb"
+  "CMakeFiles/table2_devices.dir/table2_devices.cc.o"
+  "CMakeFiles/table2_devices.dir/table2_devices.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

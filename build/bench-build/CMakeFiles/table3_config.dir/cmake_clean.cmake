@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_config"
+  "../bench/table3_config.pdb"
+  "CMakeFiles/table3_config.dir/table3_config.cc.o"
+  "CMakeFiles/table3_config.dir/table3_config.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

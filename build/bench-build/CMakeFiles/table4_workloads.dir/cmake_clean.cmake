@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_workloads"
+  "../bench/table4_workloads.pdb"
+  "CMakeFiles/table4_workloads.dir/table4_workloads.cc.o"
+  "CMakeFiles/table4_workloads.dir/table4_workloads.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flash_aging.dir/flash_aging.cpp.o"
+  "CMakeFiles/flash_aging.dir/flash_aging.cpp.o.d"
+  "flash_aging"
+  "flash_aging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flash_aging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

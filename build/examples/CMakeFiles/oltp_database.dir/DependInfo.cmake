@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/oltp_database.cpp" "examples/CMakeFiles/oltp_database.dir/oltp_database.cpp.o" "gcc" "examples/CMakeFiles/oltp_database.dir/oltp_database.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/fc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/fc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/fc_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/fc_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/fc_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/fc_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliability/CMakeFiles/fc_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/fc_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oltp_database.dir/oltp_database.cpp.o"
+  "CMakeFiles/oltp_database.dir/oltp_database.cpp.o.d"
+  "oltp_database"
+  "oltp_database.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oltp_database.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warm_restart.dir/warm_restart.cpp.o"
+  "CMakeFiles/warm_restart.dir/warm_restart.cpp.o.d"
+  "warm_restart"
+  "warm_restart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warm_restart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

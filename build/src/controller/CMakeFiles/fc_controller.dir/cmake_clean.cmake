@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fc_controller.dir/memory_controller.cc.o"
+  "CMakeFiles/fc_controller.dir/memory_controller.cc.o.d"
+  "CMakeFiles/fc_controller.dir/reconfig_policy.cc.o"
+  "CMakeFiles/fc_controller.dir/reconfig_policy.cc.o.d"
+  "libfc_controller.a"
+  "libfc_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fc_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

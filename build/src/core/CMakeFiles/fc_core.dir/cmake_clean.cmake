@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fc_core.dir/flash_cache.cc.o"
+  "CMakeFiles/fc_core.dir/flash_cache.cc.o.d"
+  "CMakeFiles/fc_core.dir/tables.cc.o"
+  "CMakeFiles/fc_core.dir/tables.cc.o.d"
+  "libfc_core.a"
+  "libfc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

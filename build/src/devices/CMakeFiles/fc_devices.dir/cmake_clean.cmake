@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fc_devices.dir/disk.cc.o"
+  "CMakeFiles/fc_devices.dir/disk.cc.o.d"
+  "CMakeFiles/fc_devices.dir/dram.cc.o"
+  "CMakeFiles/fc_devices.dir/dram.cc.o.d"
+  "libfc_devices.a"
+  "libfc_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fc_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

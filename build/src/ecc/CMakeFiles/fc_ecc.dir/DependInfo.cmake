@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ecc/bch.cc" "src/ecc/CMakeFiles/fc_ecc.dir/bch.cc.o" "gcc" "src/ecc/CMakeFiles/fc_ecc.dir/bch.cc.o.d"
+  "/root/repo/src/ecc/crc32.cc" "src/ecc/CMakeFiles/fc_ecc.dir/crc32.cc.o" "gcc" "src/ecc/CMakeFiles/fc_ecc.dir/crc32.cc.o.d"
+  "/root/repo/src/ecc/ecc_timing.cc" "src/ecc/CMakeFiles/fc_ecc.dir/ecc_timing.cc.o" "gcc" "src/ecc/CMakeFiles/fc_ecc.dir/ecc_timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gf/CMakeFiles/fc_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fc_ecc.dir/bch.cc.o"
+  "CMakeFiles/fc_ecc.dir/bch.cc.o.d"
+  "CMakeFiles/fc_ecc.dir/crc32.cc.o"
+  "CMakeFiles/fc_ecc.dir/crc32.cc.o.d"
+  "CMakeFiles/fc_ecc.dir/ecc_timing.cc.o"
+  "CMakeFiles/fc_ecc.dir/ecc_timing.cc.o.d"
+  "libfc_ecc.a"
+  "libfc_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fc_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fc_flash.dir/flash_device.cc.o"
+  "CMakeFiles/fc_flash.dir/flash_device.cc.o.d"
+  "CMakeFiles/fc_flash.dir/flash_spec.cc.o"
+  "CMakeFiles/fc_flash.dir/flash_spec.cc.o.d"
+  "libfc_flash.a"
+  "libfc_flash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fc_flash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

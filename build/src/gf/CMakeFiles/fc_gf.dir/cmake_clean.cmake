@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fc_gf.dir/gf2_poly.cc.o"
+  "CMakeFiles/fc_gf.dir/gf2_poly.cc.o.d"
+  "CMakeFiles/fc_gf.dir/gf2m.cc.o"
+  "CMakeFiles/fc_gf.dir/gf2m.cc.o.d"
+  "CMakeFiles/fc_gf.dir/gf_poly.cc.o"
+  "CMakeFiles/fc_gf.dir/gf_poly.cc.o.d"
+  "libfc_gf.a"
+  "libfc_gf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fc_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fc_reliability.dir/page_health.cc.o"
+  "CMakeFiles/fc_reliability.dir/page_health.cc.o.d"
+  "CMakeFiles/fc_reliability.dir/wear_model.cc.o"
+  "CMakeFiles/fc_reliability.dir/wear_model.cc.o.d"
+  "libfc_reliability.a"
+  "libfc_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fc_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

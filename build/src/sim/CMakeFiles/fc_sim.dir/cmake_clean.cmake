@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fc_sim.dir/power_report.cc.o"
+  "CMakeFiles/fc_sim.dir/power_report.cc.o.d"
+  "CMakeFiles/fc_sim.dir/system_sim.cc.o"
+  "CMakeFiles/fc_sim.dir/system_sim.cc.o.d"
+  "libfc_sim.a"
+  "libfc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

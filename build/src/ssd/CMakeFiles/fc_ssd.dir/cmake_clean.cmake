@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fc_ssd.dir/ftl.cc.o"
+  "CMakeFiles/fc_ssd.dir/ftl.cc.o.d"
+  "libfc_ssd.a"
+  "libfc_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fc_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fc_util.dir/log.cc.o"
+  "CMakeFiles/fc_util.dir/log.cc.o.d"
+  "CMakeFiles/fc_util.dir/mathx.cc.o"
+  "CMakeFiles/fc_util.dir/mathx.cc.o.d"
+  "CMakeFiles/fc_util.dir/rng.cc.o"
+  "CMakeFiles/fc_util.dir/rng.cc.o.d"
+  "CMakeFiles/fc_util.dir/serialize.cc.o"
+  "CMakeFiles/fc_util.dir/serialize.cc.o.d"
+  "CMakeFiles/fc_util.dir/stats.cc.o"
+  "CMakeFiles/fc_util.dir/stats.cc.o.d"
+  "libfc_util.a"
+  "libfc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

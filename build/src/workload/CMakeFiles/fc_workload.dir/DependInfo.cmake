@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/macro.cc" "src/workload/CMakeFiles/fc_workload.dir/macro.cc.o" "gcc" "src/workload/CMakeFiles/fc_workload.dir/macro.cc.o.d"
+  "/root/repo/src/workload/stack_distance.cc" "src/workload/CMakeFiles/fc_workload.dir/stack_distance.cc.o" "gcc" "src/workload/CMakeFiles/fc_workload.dir/stack_distance.cc.o.d"
+  "/root/repo/src/workload/synthetic.cc" "src/workload/CMakeFiles/fc_workload.dir/synthetic.cc.o" "gcc" "src/workload/CMakeFiles/fc_workload.dir/synthetic.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/fc_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/fc_workload.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

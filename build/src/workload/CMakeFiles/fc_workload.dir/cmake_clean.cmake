@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fc_workload.dir/macro.cc.o"
+  "CMakeFiles/fc_workload.dir/macro.cc.o.d"
+  "CMakeFiles/fc_workload.dir/stack_distance.cc.o"
+  "CMakeFiles/fc_workload.dir/stack_distance.cc.o.d"
+  "CMakeFiles/fc_workload.dir/synthetic.cc.o"
+  "CMakeFiles/fc_workload.dir/synthetic.cc.o.d"
+  "CMakeFiles/fc_workload.dir/trace.cc.o"
+  "CMakeFiles/fc_workload.dir/trace.cc.o.d"
+  "libfc_workload.a"
+  "libfc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bad_block_test.dir/bad_block_test.cc.o"
+  "CMakeFiles/bad_block_test.dir/bad_block_test.cc.o.d"
+  "bad_block_test"
+  "bad_block_test.pdb"
+  "bad_block_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bad_block_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bch_exhaustive_test.dir/bch_exhaustive_test.cc.o"
+  "CMakeFiles/bch_exhaustive_test.dir/bch_exhaustive_test.cc.o.d"
+  "bch_exhaustive_test"
+  "bch_exhaustive_test.pdb"
+  "bch_exhaustive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bch_exhaustive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

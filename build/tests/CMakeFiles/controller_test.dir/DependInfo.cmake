@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/controller_test.cc" "tests/CMakeFiles/controller_test.dir/controller_test.cc.o" "gcc" "tests/CMakeFiles/controller_test.dir/controller_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/controller/CMakeFiles/fc_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/fc_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliability/CMakeFiles/fc_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/fc_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/fc_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

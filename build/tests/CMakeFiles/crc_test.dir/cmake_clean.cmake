@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crc_test.dir/crc_test.cc.o"
+  "CMakeFiles/crc_test.dir/crc_test.cc.o.d"
+  "crc_test"
+  "crc_test.pdb"
+  "crc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flash_cache_test.dir/flash_cache_test.cc.o"
+  "CMakeFiles/flash_cache_test.dir/flash_cache_test.cc.o.d"
+  "flash_cache_test"
+  "flash_cache_test.pdb"
+  "flash_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flash_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

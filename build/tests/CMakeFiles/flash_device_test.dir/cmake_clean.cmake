@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flash_device_test.dir/flash_device_test.cc.o"
+  "CMakeFiles/flash_device_test.dir/flash_device_test.cc.o.d"
+  "flash_device_test"
+  "flash_device_test.pdb"
+  "flash_device_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flash_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_agreement_test.dir/model_agreement_test.cc.o"
+  "CMakeFiles/model_agreement_test.dir/model_agreement_test.cc.o.d"
+  "model_agreement_test"
+  "model_agreement_test.pdb"
+  "model_agreement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_agreement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/real_data_cache_test.dir/real_data_cache_test.cc.o"
+  "CMakeFiles/real_data_cache_test.dir/real_data_cache_test.cc.o.d"
+  "real_data_cache_test"
+  "real_data_cache_test.pdb"
+  "real_data_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/real_data_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reconfig_behavior_test.dir/reconfig_behavior_test.cc.o"
+  "CMakeFiles/reconfig_behavior_test.dir/reconfig_behavior_test.cc.o.d"
+  "reconfig_behavior_test"
+  "reconfig_behavior_test.pdb"
+  "reconfig_behavior_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reconfig_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soft_error_test.dir/soft_error_test.cc.o"
+  "CMakeFiles/soft_error_test.dir/soft_error_test.cc.o.d"
+  "soft_error_test"
+  "soft_error_test.pdb"
+  "soft_error_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soft_error_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_sim_test.dir/system_sim_test.cc.o"
+  "CMakeFiles/system_sim_test.dir/system_sim_test.cc.o.d"
+  "system_sim_test"
+  "system_sim_test.pdb"
+  "system_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

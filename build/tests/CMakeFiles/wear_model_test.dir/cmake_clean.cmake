@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wear_model_test.dir/wear_model_test.cc.o"
+  "CMakeFiles/wear_model_test.dir/wear_model_test.cc.o.d"
+  "wear_model_test"
+  "wear_model_test.pdb"
+  "wear_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wear_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/rng_test[1]_include.cmake")
+include("/root/repo/build/tests/gf_test[1]_include.cmake")
+include("/root/repo/build/tests/bch_test[1]_include.cmake")
+include("/root/repo/build/tests/crc_test[1]_include.cmake")
+include("/root/repo/build/tests/wear_model_test[1]_include.cmake")
+include("/root/repo/build/tests/flash_device_test[1]_include.cmake")
+include("/root/repo/build/tests/devices_test[1]_include.cmake")
+include("/root/repo/build/tests/controller_test[1]_include.cmake")
+include("/root/repo/build/tests/tables_test[1]_include.cmake")
+include("/root/repo/build/tests/flash_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/system_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/reconfig_behavior_test[1]_include.cmake")
+include("/root/repo/build/tests/soft_error_test[1]_include.cmake")
+include("/root/repo/build/tests/config_matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/bch_exhaustive_test[1]_include.cmake")
+include("/root/repo/build/tests/real_data_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/ftl_test[1]_include.cmake")
+include("/root/repo/build/tests/persistence_test[1]_include.cmake")
+include("/root/repo/build/tests/cross_validation_test[1]_include.cmake")
+include("/root/repo/build/tests/reporting_test[1]_include.cmake")
+include("/root/repo/build/tests/model_agreement_test[1]_include.cmake")
+include("/root/repo/build/tests/bad_block_test[1]_include.cmake")
+include("/root/repo/build/tests/allocation_test[1]_include.cmake")
