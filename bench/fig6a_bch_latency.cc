@@ -39,10 +39,14 @@ main()
                 "(omitted from the paper's figure).\n");
 
     // Section 4.1.1: software decode on a host CPU, per 2 KB page.
+    // Both codec generations are timed: the bit-serial seed decoder
+    // stands in for the paper's "unoptimized C" measurement, and the
+    // word-parallel rewrite shows how far table-driven software can
+    // close the gap (see BENCH_ecc.json for the recorded trajectory).
     std::printf("\n--- software BCH decode on this host (real codec, "
                 "2 KB page) ---\n");
-    std::printf("%4s %18s %22s\n", "t", "errors injected",
-                "measured decode (us)");
+    std::printf("%4s %18s %22s %22s\n", "t", "errors injected",
+                "bit-serial (us)", "word-parallel (us)");
     Rng rng(3);
     for (unsigned t : {2u, 6u, 10u}) {
         BchCode code(15, t, 2048 * 8);
@@ -56,23 +60,38 @@ main()
             data[100 * e + 7] ^= 1;
 
         const int reps = 20;
-        double us = 0.0;
+        double us_ref = 0.0;
+        double us_fast = 0.0;
         for (int i = 0; i < reps; ++i) {
             auto d = data;
             auto p = parity;
-            const auto start = std::chrono::steady_clock::now();
-            const auto res = code.decode(d.data(), p.data());
-            const auto stop = std::chrono::steady_clock::now();
+            auto start = std::chrono::steady_clock::now();
+            const auto res = code.decodeReference(d.data(), p.data());
+            auto stop = std::chrono::steady_clock::now();
             if (!res.ok)
                 std::printf("unexpected decode failure\n");
-            us += std::chrono::duration<double, std::micro>(
+            us_ref += std::chrono::duration<double, std::micro>(
+                stop - start).count();
+
+            auto d2 = data;
+            auto p2 = parity;
+            start = std::chrono::steady_clock::now();
+            const auto res2 = code.decode(d2.data(), p2.data());
+            stop = std::chrono::steady_clock::now();
+            if (!res2.ok)
+                std::printf("unexpected decode failure\n");
+            us_fast += std::chrono::duration<double, std::micro>(
                 stop - start).count();
         }
-        std::printf("%4u %18u %22.0f\n", t, t, us / reps);
+        std::printf("%4u %18u %22.0f %22.1f\n", t, t, us_ref / reps,
+                    us_fast / reps);
     }
     std::printf("\nThe paper measured 0.1-1 s per page on a 3.4 GHz "
                 "Pentium 4 (unoptimized C), motivating\nthe ~1 mm^2 "
                 "hardware accelerator the timing model above "
-                "represents.\n");
+                "represents. The bit-serial\ncolumn is our equivalent "
+                "of that unoptimized software point; the word-parallel "
+                "column\nis the table-driven rewrite this simulator "
+                "actually runs.\n");
     return 0;
 }

@@ -57,10 +57,131 @@ BchCode::BchCode(unsigned m, unsigned t, std::uint32_t data_bits)
            << parityBits_ << ")";
         fatal(os.str());
     }
+
+    // ---- encoder remainder table ----
+    // T[b] = b(x) * x^r mod g(x). Built from the 8 single-bit basis
+    // remainders x^(r+k) mod g by GF(2) linearity.
+    const std::uint32_t r = parityBits_;
+    parityWords_ = (r + 63) / 64;
+    // The byte LFSR keeps its state in at most 4 words (256 parity
+    // bits, far above the page code's 180); codes outside that range
+    // or with fewer than 8 parity bits use the reference encoder.
+    byteEncode_ = r >= 8 && parityWords_ <= 4;
+    topWordMask_ = (r % 64) ? ((1ull << (r % 64)) - 1) : ~0ull;
+    lastParityMask_ = (r % 8)
+        ? static_cast<std::uint8_t>((1u << (r % 8)) - 1) : 0xFF;
+    if (byteEncode_) {
+        topByteWord_ = (r - 8) / 64;
+        topByteShift_ = (r - 8) % 64;
+        std::uint64_t basis[8][4] = {};
+        for (unsigned k = 0; k < 8; ++k) {
+            const Gf2Poly rem = Gf2Poly::monomial(r + k).mod(gen_);
+            for (std::uint32_t i = 0; i < r; ++i) {
+                if (rem.coeff(i))
+                    basis[k][i / 64] |= 1ull << (i % 64);
+            }
+        }
+        encTable_.assign(256u * parityWords_, 0);
+        for (unsigned b = 0; b < 256; ++b) {
+            std::uint64_t* entry = &encTable_[b * parityWords_];
+            for (unsigned k = 0; k < 8; ++k) {
+                if (!(b & (1u << k)))
+                    continue;
+                for (std::uint32_t w = 0; w < parityWords_; ++w)
+                    entry[w] ^= basis[k][w];
+            }
+        }
+    }
+
+    // ---- syndrome byte-evaluation tables (odd exponents only) ----
+    // byteEval_[k][b] = b(alpha^j), j = 2k + 1. Even syndromes follow
+    // from S_2j = S_j^2 at decode time, halving the table set and the
+    // per-byte work.
+    byteEval_.assign(static_cast<std::size_t>(t_) * 256, 0);
+    stepLog8_.resize(t_);
+    parityBaseLog_.resize(t_);
+    for (unsigned k = 0; k < t_; ++k) {
+        const std::uint64_t j = 2ull * k + 1;
+        stepLog8_[k] = static_cast<std::uint32_t>((8 * j) % n);
+        parityBaseLog_[k] = static_cast<std::uint32_t>(
+            (static_cast<std::uint64_t>(parityBits_) * j) % n);
+        GaloisField::Elem bit[8];
+        for (unsigned bpos = 0; bpos < 8; ++bpos)
+            bit[bpos] = gf_.alphaPow(static_cast<std::int64_t>(
+                (bpos * j) % n));
+        GaloisField::Elem* tbl = &byteEval_[static_cast<std::size_t>(k) *
+            256];
+        for (unsigned b = 1; b < 256; ++b) {
+            const unsigned low = b & (b - 1);
+            const unsigned bpos = static_cast<unsigned>(
+                __builtin_ctz(b));
+            tbl[b] = tbl[low] ^ bit[bpos];
+        }
+    }
+
+    // ---- Chien step table: alpha^-j per locator coefficient j ----
+    chienStepLog_.resize(t_ + 1);
+    for (unsigned j = 0; j <= t_; ++j)
+        chienStepLog_[j] = static_cast<std::uint32_t>((n - j % n) % n);
+
+    // ---- workspace (the only allocations after construction) ----
+    ws_.encState.assign(parityWords_, 0);
+    ws_.synd.assign(2 * t_, 0);
+    const std::size_t bm_cap = 2 * t_ + 3;
+    ws_.sigma.assign(bm_cap, 0);
+    ws_.bmB.assign(bm_cap, 0);
+    ws_.bmTmp.assign(bm_cap, 0);
+    ws_.termLog.assign(t_ + 1, 0);
+    ws_.positions.assign(t_, 0);
 }
 
 void
 BchCode::encode(const std::uint8_t* data, std::uint8_t* parity) const
+{
+    if (!byteEncode_) {
+        // Degenerate tiny codes (r < 8) stay on the reference path.
+        encodeReference(data, parity);
+        return;
+    }
+
+    // Byte-at-a-time LFSR for parity(x) = data(x) * x^r mod g(x).
+    // State R holds the running remainder; feeding message byte B
+    // (high-degree bytes first) performs
+    //   R' = ((R << 8) mod x^r) ^ T[topByte(R) ^ B]
+    // using the linearity of the remainder map.
+    std::uint64_t* s = ws_.encState.data();
+    const std::uint32_t W = parityWords_;
+    for (std::uint32_t w = 0; w < W; ++w)
+        s[w] = 0;
+
+    const std::uint32_t nbytes = dataBits_ / 8;
+    for (std::uint32_t i = nbytes; i-- > 0;) {
+        std::uint64_t top = s[topByteWord_] >> topByteShift_;
+        if (topByteShift_ > 56 && topByteWord_ + 1 < W)
+            top |= s[topByteWord_ + 1] << (64 - topByteShift_);
+        const unsigned idx =
+            static_cast<unsigned>(top & 0xFF) ^ data[i];
+
+        for (std::uint32_t w = W; w-- > 1;)
+            s[w] = (s[w] << 8) | (s[w - 1] >> 56);
+        s[0] <<= 8;
+        s[W - 1] &= topWordMask_;
+
+        if (idx) {
+            const std::uint64_t* entry = &encTable_[idx * W];
+            for (std::uint32_t w = 0; w < W; ++w)
+                s[w] ^= entry[w];
+        }
+    }
+
+    const std::uint32_t pbytes = parityBytes();
+    for (std::uint32_t i = 0; i < pbytes; ++i)
+        parity[i] = static_cast<std::uint8_t>(s[i / 8] >> ((i % 8) * 8));
+}
+
+void
+BchCode::encodeReference(const std::uint8_t* data,
+                         std::uint8_t* parity) const
 {
     // Systematic: parity(x) = data(x) * x^r mod g(x).
     Gf2Poly msg;
@@ -84,9 +205,68 @@ BchCode::encode(const std::uint8_t* data, std::uint8_t* parity) const
     }
 }
 
+bool
+BchCode::computeSyndromes(const std::uint8_t* data,
+                          const std::uint8_t* parity) const
+{
+    // Odd syndromes S_j = r(alpha^j), j = 1, 3, .., 2t-1, accumulated
+    // byte-wise: each nonzero byte B at byte position i contributes
+    // B(alpha^j) * alpha^(8ij), with the position power maintained as
+    // a running discrete log (one add + compare per byte, no modulo).
+    // Even syndromes are Frobenius squares: S_2j = S_j^2.
+    const std::uint32_t nmod = gf_.groupOrder();
+    const std::uint32_t pbytes = parityBytes();
+    const std::uint32_t dbytes = dataBits_ / 8;
+    GaloisField::Elem* synd = ws_.synd.data();
+    GaloisField::Elem any = 0;
+
+    for (unsigned k = 0; k < t_; ++k) {
+        const GaloisField::Elem* tbl =
+            &byteEval_[static_cast<std::size_t>(k) * 256];
+        const std::uint32_t step = stepLog8_[k];
+        GaloisField::Elem s = 0;
+
+        std::uint32_t lp = 0;
+        for (std::uint32_t i = 0; i < pbytes; ++i) {
+            std::uint8_t b = parity[i];
+            if (i == pbytes - 1)
+                b &= lastParityMask_;
+            if (b) {
+                const GaloisField::Elem v = tbl[b];
+                if (v)
+                    s ^= gf_.alphaPowUnreduced(gf_.logAlpha(v) + lp);
+            }
+            lp += step;
+            if (lp >= nmod)
+                lp -= nmod;
+        }
+
+        lp = parityBaseLog_[k];
+        for (std::uint32_t i = 0; i < dbytes; ++i) {
+            const std::uint8_t b = data[i];
+            if (b) {
+                const GaloisField::Elem v = tbl[b];
+                if (v)
+                    s ^= gf_.alphaPowUnreduced(gf_.logAlpha(v) + lp);
+            }
+            lp += step;
+            if (lp >= nmod)
+                lp -= nmod;
+        }
+
+        synd[2 * k] = s;
+        any |= s;
+    }
+    for (unsigned j = 2; j <= 2 * t_; j += 2) {
+        synd[j - 1] = gf_.square(synd[j / 2 - 1]);
+        any |= synd[j - 1];
+    }
+    return any == 0;
+}
+
 std::vector<GaloisField::Elem>
-BchCode::syndromes(const std::uint8_t* data,
-                   const std::uint8_t* parity) const
+BchCode::syndromesReference(const std::uint8_t* data,
+                            const std::uint8_t* parity) const
 {
     // S_j = r(alpha^j), j = 1..2t, accumulated over set bits only.
     const std::int64_t n = gf_.groupOrder();
@@ -107,22 +287,168 @@ bool
 BchCode::isCodewordClean(const std::uint8_t* data,
                          const std::uint8_t* parity) const
 {
-    const auto synd = syndromes(data, parity);
-    return std::all_of(synd.begin(), synd.end(),
-                       [](GaloisField::Elem s) { return s == 0; });
+    return computeSyndromes(data, parity);
 }
 
-std::vector<GaloisField::Elem>
-BchCode::berlekampMassey(const std::vector<GaloisField::Elem>& synd) const
+unsigned
+BchCode::berlekampMassey() const
 {
     // Berlekamp-Massey over GF(2^m): find the shortest LFSR C(x)
-    // generating the syndrome sequence.
+    // generating the syndrome sequence. Scratch polynomials live in
+    // the workspace; lengths are tracked explicitly so the loop never
+    // touches the allocator.
+    const GaloisField::Elem* synd = ws_.synd.data();
+    const unsigned nsynd = 2 * t_;
+    const std::size_t cap = ws_.sigma.size();
+    GaloisField::Elem* c = ws_.sigma.data();
+    GaloisField::Elem* b = ws_.bmB.data();
+    GaloisField::Elem* tmp = ws_.bmTmp.data();
+    std::fill(ws_.sigma.begin(), ws_.sigma.end(), 0);
+    std::fill(ws_.bmB.begin(), ws_.bmB.end(), 0);
+
+    c[0] = 1;
+    b[0] = 1;
+    std::size_t c_len = 1;
+    std::size_t b_len = 1;
+    unsigned l = 0;
+    unsigned mm = 1;
+    GaloisField::Elem bb = 1;
+
+    for (unsigned nn = 0; nn < nsynd; ++nn) {
+        GaloisField::Elem d = synd[nn];
+        for (unsigned i = 1; i <= l && i < c_len; ++i)
+            d ^= gf_.mul(c[i], synd[nn - i]);
+
+        if (d == 0) {
+            ++mm;
+        } else if (2 * l <= nn) {
+            std::copy(c, c + c_len, tmp);
+            const std::size_t tmp_len = c_len;
+            const GaloisField::Elem coef = gf_.div(d, bb);
+            if (c_len < b_len + mm) {
+                if (b_len + mm > cap)
+                    panic("Berlekamp-Massey workspace overflow");
+                c_len = b_len + mm;
+            }
+            for (std::size_t i = 0; i < b_len; ++i)
+                c[i + mm] ^= gf_.mul(coef, b[i]);
+            l = nn + 1 - l;
+            std::copy(tmp, tmp + tmp_len, b);
+            std::fill(b + tmp_len, b + std::max(tmp_len, b_len), 0);
+            b_len = tmp_len;
+            bb = d;
+            mm = 1;
+        } else {
+            const GaloisField::Elem coef = gf_.div(d, bb);
+            if (c_len < b_len + mm) {
+                if (b_len + mm > cap)
+                    panic("Berlekamp-Massey workspace overflow");
+                c_len = b_len + mm;
+            }
+            for (std::size_t i = 0; i < b_len; ++i)
+                c[i + mm] ^= gf_.mul(coef, b[i]);
+            ++mm;
+        }
+    }
+    while (c_len > 0 && c[c_len - 1] == 0)
+        --c_len;
+    return static_cast<unsigned>(c_len);
+}
+
+BchDecodeResult
+BchCode::decode(std::uint8_t* data, std::uint8_t* parity) const
+{
+    BchDecodeResult res;
+
+    if (computeSyndromes(data, parity)) {
+        res.ok = true;
+        return res;
+    }
+
+    const unsigned sigma_len = berlekampMassey();
+    const unsigned deg = sigma_len == 0 ? 0 : sigma_len - 1;
+    if (deg == 0 || deg > t_) {
+        res.ok = false;
+        return res;
+    }
+
+    // Chien search over the shortened positions: sigma has a root at
+    // alpha^{-p} exactly when an error sits at codeword position p.
+    // Each term sigma_j * alpha^{-pj} advances per position by one
+    // log-domain add (termLog_j += n - j), and the scan stops as soon
+    // as deg roots are found — a degree-deg polynomial has no more.
+    const std::uint32_t nmod = gf_.groupOrder();
+    const GaloisField::Elem* sigma = ws_.sigma.data();
+    std::uint32_t* term = ws_.termLog.data();
+    static constexpr std::uint32_t kNoTerm = 0xFFFFFFFFu;
+    for (unsigned j = 0; j <= deg; ++j)
+        term[j] = sigma[j] ? gf_.logAlpha(sigma[j]) : kNoTerm;
+
+    std::uint32_t* positions = ws_.positions.data();
+    unsigned nfound = 0;
+    const std::uint32_t total = codewordBits();
+    for (std::uint32_t p = 0; p < total; ++p) {
+        GaloisField::Elem acc = 0;
+        for (unsigned j = 0; j <= deg; ++j) {
+            if (term[j] != kNoTerm)
+                acc ^= gf_.alphaPowUnreduced(term[j]);
+        }
+        if (acc == 0) {
+            positions[nfound++] = p;
+            if (nfound == deg)
+                break;
+        }
+        for (unsigned j = 1; j <= deg; ++j) {
+            if (term[j] == kNoTerm)
+                continue;
+            term[j] += chienStepLog_[j];
+            if (term[j] >= nmod)
+                term[j] -= nmod;
+        }
+    }
+
+    if (nfound != deg) {
+        // Some locator roots fall outside the shortened word: the
+        // actual error count exceeded t.
+        res.ok = false;
+        return res;
+    }
+
+    for (unsigned i = 0; i < nfound; ++i) {
+        const std::uint32_t p = positions[i];
+        if (p < parityBits_)
+            flipBit(parity, p);
+        else
+            flipBit(data, p - parityBits_);
+        if (i < BchDecodeResult::kMaxReportedPositions)
+            res.positions[i] = p;
+    }
+    res.correctedBits = deg;
+    res.ok = true;
+    return res;
+}
+
+BchDecodeResult
+BchCode::decodeReference(std::uint8_t* data, std::uint8_t* parity) const
+{
+    // The original bit-serial pipeline, kept verbatim as the oracle:
+    // per-set-bit syndromes, allocating Berlekamp-Massey, full Chien
+    // sweep with per-position GF multiplies.
+    BchDecodeResult res;
+
+    const auto synd = syndromesReference(data, parity);
+    const bool clean = std::all_of(synd.begin(), synd.end(),
+        [](GaloisField::Elem s) { return s == 0; });
+    if (clean) {
+        res.ok = true;
+        return res;
+    }
+
     std::vector<GaloisField::Elem> c = {1};
     std::vector<GaloisField::Elem> b = {1};
     unsigned l = 0;
     unsigned mm = 1;
     GaloisField::Elem bb = 1;
-
     for (unsigned nn = 0; nn < synd.size(); ++nn) {
         GaloisField::Elem d = synd[nn];
         for (unsigned i = 1; i <= l && i < c.size(); ++i)
@@ -152,23 +478,8 @@ BchCode::berlekampMassey(const std::vector<GaloisField::Elem>& synd) const
     }
     while (!c.empty() && c.back() == 0)
         c.pop_back();
-    return c;
-}
+    const auto& sigma = c;
 
-BchDecodeResult
-BchCode::decode(std::uint8_t* data, std::uint8_t* parity) const
-{
-    BchDecodeResult res;
-
-    const auto synd = syndromes(data, parity);
-    const bool clean = std::all_of(synd.begin(), synd.end(),
-        [](GaloisField::Elem s) { return s == 0; });
-    if (clean) {
-        res.ok = true;
-        return res;
-    }
-
-    const auto sigma = berlekampMassey(synd);
     const unsigned deg = sigma.empty()
         ? 0 : static_cast<unsigned>(sigma.size() - 1);
     if (deg == 0 || deg > t_) {
@@ -176,38 +487,36 @@ BchCode::decode(std::uint8_t* data, std::uint8_t* parity) const
         return res;
     }
 
-    // Chien search over the shortened positions: sigma has a root at
-    // alpha^{-p} exactly when an error sits at codeword position p.
-    // Incrementally maintain term_j = sigma_j * alpha^{-p*j}.
     std::vector<GaloisField::Elem> term(sigma.begin(), sigma.end());
     std::vector<GaloisField::Elem> step(sigma.size());
     for (std::size_t j = 0; j < sigma.size(); ++j)
         step[j] = gf_.alphaPow(-static_cast<std::int64_t>(j));
 
+    std::vector<std::uint32_t> found;
     const std::uint32_t total = codewordBits();
     for (std::uint32_t p = 0; p < total; ++p) {
         GaloisField::Elem acc = 0;
         for (std::size_t j = 0; j < term.size(); ++j)
             acc ^= term[j];
         if (acc == 0)
-            res.positions.push_back(p);
+            found.push_back(p);
         for (std::size_t j = 1; j < term.size(); ++j)
             term[j] = gf_.mul(term[j], step[j]);
     }
 
-    if (res.positions.size() != deg) {
-        // Some locator roots fall outside the shortened word: the
-        // actual error count exceeded t.
-        res.positions.clear();
+    if (found.size() != deg) {
         res.ok = false;
         return res;
     }
 
-    for (const std::uint32_t p : res.positions) {
+    for (std::size_t i = 0; i < found.size(); ++i) {
+        const std::uint32_t p = found[i];
         if (p < parityBits_)
             flipBit(parity, p);
         else
             flipBit(data, p - parityBits_);
+        if (i < BchDecodeResult::kMaxReportedPositions)
+            res.positions[i] = p;
     }
     res.correctedBits = deg;
     res.ok = true;

@@ -12,13 +12,34 @@
  * Decoding pipeline: syndrome computation, Berlekamp-Massey to find
  * the error locator polynomial, Chien search to find its roots, and
  * in-place bit flips (binary code, so error magnitude is always 1).
+ *
+ * The hot paths are word-parallel and allocation-free:
+ *  - encode() advances a byte-at-a-time LFSR through a precomputed
+ *    256-entry remainder table (one multi-word shift + XOR per data
+ *    byte) instead of building a Gf2Poly per call;
+ *  - syndromes are computed byte-wise: only the t odd syndromes are
+ *    accumulated directly (a 256-entry per-syndrome byte-evaluation
+ *    table plus a running log-domain position power), and the even
+ *    ones follow from the Frobenius identity S_2j = S_j^2;
+ *  - Chien search steps each locator coefficient incrementally in
+ *    the log domain and exits as soon as all roots are found;
+ *  - Berlekamp-Massey and Chien scratch live in a per-code workspace
+ *    sized at construction, so steady-state encode/decode perform no
+ *    heap allocation.
+ *
+ * The original bit-serial implementation is retained as
+ * encodeReference()/decodeReference() and serves as the oracle for
+ * the differential tests (tests/bch_differential_test.cc).
+ *
+ * The workspace makes encode/decode logically const but not
+ * re-entrant: one BchCode must not decode concurrently from two
+ * threads (the simulator is single-threaded).
  */
 
 #ifndef FLASHCACHE_ECC_BCH_HH
 #define FLASHCACHE_ECC_BCH_HH
 
 #include <cstdint>
-#include <memory>
 #include <vector>
 
 #include "gf/gf2_poly.hh"
@@ -29,6 +50,13 @@ namespace flashcache {
 /** Outcome of a BCH decode attempt. */
 struct BchDecodeResult
 {
+    /**
+     * Positions are reported through a fixed-size inline buffer so a
+     * decode never heap-allocates; every code the system builds has
+     * t far below this bound.
+     */
+    static constexpr unsigned kMaxReportedPositions = 64;
+
     /**
      * True when the decoder believes the word was corrected (or was
      * already clean). A false value means the error count certainly
@@ -41,8 +69,11 @@ struct BchDecodeResult
     /** Number of bit positions flipped by the decoder. */
     unsigned correctedBits = 0;
 
-    /** Codeword bit positions that were flipped. */
-    std::vector<std::uint32_t> positions;
+    /**
+     * Codeword bit positions that were flipped; the first
+     * min(correctedBits, kMaxReportedPositions) entries are valid.
+     */
+    std::uint32_t positions[kMaxReportedPositions] = {};
 };
 
 /**
@@ -77,7 +108,7 @@ class BchCode
     const Gf2Poly& generator() const { return gen_; }
 
     /**
-     * Systematic encode.
+     * Systematic encode (table-driven LFSR, no allocation).
      *
      * @param data   dataBits()/8 bytes of payload.
      * @param parity Out: parityBytes() bytes of check bits.
@@ -85,7 +116,8 @@ class BchCode
     void encode(const std::uint8_t* data, std::uint8_t* parity) const;
 
     /**
-     * Decode and correct in place.
+     * Decode and correct in place (byte-wise syndromes, workspace
+     * Berlekamp-Massey, incremental Chien; no allocation).
      *
      * @param data   dataBits()/8 bytes, corrected on success.
      * @param parity parityBytes() bytes, corrected on success.
@@ -99,6 +131,22 @@ class BchCode
      */
     bool isCodewordClean(const std::uint8_t* data,
                          const std::uint8_t* parity) const;
+
+    /**
+     * Bit-serial reference encoder (the original Gf2Poly-based
+     * implementation). Slow; kept as the oracle for differential
+     * tests and as the fallback for degenerate codes with fewer than
+     * 8 parity bits.
+     */
+    void encodeReference(const std::uint8_t* data,
+                         std::uint8_t* parity) const;
+
+    /**
+     * Bit-serial reference decoder (original per-set-bit syndromes,
+     * allocating Berlekamp-Massey and full Chien sweep). Oracle only.
+     */
+    BchDecodeResult decodeReference(std::uint8_t* data,
+                                    std::uint8_t* parity) const;
 
   private:
     /** Gather codeword bit i from the split data/parity buffers. */
@@ -118,19 +166,68 @@ class BchCode
         buf[i / 8] ^= static_cast<std::uint8_t>(1u << (i % 8));
     }
 
-    /** Compute the 2t syndromes of the received word. */
-    std::vector<GaloisField::Elem>
-    syndromes(const std::uint8_t* data, const std::uint8_t* parity) const;
+    /**
+     * Byte-wise syndromes into ws_.synd.
+     * @return true when all 2t syndromes are zero.
+     */
+    bool computeSyndromes(const std::uint8_t* data,
+                          const std::uint8_t* parity) const;
 
-    /** Berlekamp-Massey: error locator from syndromes. */
+    /** Bit-serial reference syndromes (allocates; oracle only). */
     std::vector<GaloisField::Elem>
-    berlekampMassey(const std::vector<GaloisField::Elem>& synd) const;
+    syndromesReference(const std::uint8_t* data,
+                       const std::uint8_t* parity) const;
+
+    /**
+     * Berlekamp-Massey over ws_.synd into ws_.sigma (no allocation).
+     * @return number of coefficients of sigma (degree + 1).
+     */
+    unsigned berlekampMassey() const;
 
     GaloisField gf_;
     unsigned t_;
     std::uint32_t dataBits_;
     std::uint32_t parityBits_;
     Gf2Poly gen_;
+
+    // ---- constructor-built acceleration tables ----
+
+    /** Words per parity state: ceil(parityBits / 64). */
+    std::uint32_t parityWords_ = 0;
+    /** True when parityBits >= 8 and the byte LFSR applies. */
+    bool byteEncode_ = false;
+    /** Mask for the top parity state word (bits above parityBits). */
+    std::uint64_t topWordMask_ = 0;
+    /** Word/shift locating the top byte (bits r-8..r-1) of the state. */
+    std::uint32_t topByteWord_ = 0;
+    std::uint32_t topByteShift_ = 0;
+    /** Valid-bit mask of the last parity byte. */
+    std::uint8_t lastParityMask_ = 0xFF;
+    /** encTable_[256 * parityWords_]: b(x) * x^r mod g(x) per byte b. */
+    std::vector<std::uint64_t> encTable_;
+    /**
+     * byteEval_[k * 256 + b] = b(alpha^j) for the k-th odd syndrome
+     * exponent j = 2k + 1, b interpreted as a degree-7 polynomial.
+     */
+    std::vector<GaloisField::Elem> byteEval_;
+    /** (8 * j) mod n per odd j: log-domain step for one byte. */
+    std::vector<std::uint32_t> stepLog8_;
+    /** (parityBits * j) mod n per odd j: data-region base offset. */
+    std::vector<std::uint32_t> parityBaseLog_;
+    /** (n - j) mod n for j = 0..t: Chien per-position step. */
+    std::vector<std::uint32_t> chienStepLog_;
+
+    // ---- reusable per-code workspace (steady state: no heap) ----
+    struct Workspace
+    {
+        std::vector<std::uint64_t> encState;       ///< parityWords_
+        std::vector<GaloisField::Elem> synd;       ///< 2t
+        std::vector<GaloisField::Elem> sigma;      ///< BM locator
+        std::vector<GaloisField::Elem> bmB, bmTmp; ///< BM scratch
+        std::vector<std::uint32_t> termLog;        ///< Chien terms
+        std::vector<std::uint32_t> positions;      ///< found roots
+    };
+    mutable Workspace ws_;
 };
 
 } // namespace flashcache

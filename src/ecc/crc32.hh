@@ -6,6 +6,11 @@
  * 4.1.2): BCH can silently miscorrect when more than t errors occur,
  * and the CRC catches those false positives. 4 of the page's 64 spare
  * bytes hold this checksum.
+ *
+ * The default implementation uses slicing-by-8 (eight 256-entry
+ * tables, 8 input bytes folded per step); the classic one-table
+ * byte-wise version is kept as crc32Bytewise for differential tests
+ * and benchmark comparison.
  */
 
 #ifndef FLASHCACHE_ECC_CRC32_HH
@@ -22,6 +27,14 @@ std::uint32_t crc32(const std::uint8_t* data, std::size_t len);
 /** Incrementally extend a CRC-32 with more data. */
 std::uint32_t crc32Update(std::uint32_t crc, const std::uint8_t* data,
                           std::size_t len);
+
+/** One-table byte-at-a-time reference implementation. */
+std::uint32_t crc32Bytewise(const std::uint8_t* data, std::size_t len);
+
+/** Incremental form of the byte-wise reference. */
+std::uint32_t crc32BytewiseUpdate(std::uint32_t crc,
+                                  const std::uint8_t* data,
+                                  std::size_t len);
 
 } // namespace flashcache
 

@@ -131,20 +131,36 @@ Gf2Poly::mod(const Gf2Poly& divisor) const
         panic("Gf2Poly division by zero polynomial");
     Gf2Poly r = *this;
     const long dd = divisor.degree();
-    while (r.degree() >= dd) {
-        const std::size_t shift = static_cast<std::size_t>(r.degree() - dd);
-        // r ^= divisor << shift
-        const std::size_t ws = shift / 64;
-        const unsigned bs = shift % 64;
-        if (r.words_.size() < ws + divisor.words_.size() + 1)
-            r.words_.resize(ws + divisor.words_.size() + 1, 0);
-        for (std::size_t j = 0; j < divisor.words_.size(); ++j) {
-            r.words_[ws + j] ^= divisor.words_[j] << bs;
-            if (bs)
-                r.words_[ws + j + 1] ^= divisor.words_[j] >> (64 - bs);
+    if (r.degree() < dd)
+        return r;
+
+    // Word-scan long division: walk the dividend's words from the
+    // top, clearing each set bit of degree >= dd with one aligned
+    // XOR of the divisor. The shifted divisor's top bit lands exactly
+    // on the bit being cleared, so it never touches a higher word and
+    // the buffer never needs to grow; unlike the bit-serial loop this
+    // does no degree()/trim()/resize work per step.
+    const std::size_t dwords = divisor.words_.size();
+    for (std::size_t w = r.words_.size(); w-- > 0;) {
+        for (;;) {
+            const std::uint64_t word = r.words_[w];
+            if (!word)
+                break;
+            const int b = 63 - __builtin_clzll(word);
+            const long deg = static_cast<long>(w * 64 + b);
+            if (deg < dd)
+                break;
+            const std::size_t shift = static_cast<std::size_t>(deg - dd);
+            const std::size_t ws = shift / 64;
+            const unsigned bs = shift % 64;
+            for (std::size_t j = 0; j < dwords; ++j) {
+                r.words_[ws + j] ^= divisor.words_[j] << bs;
+                if (bs && ws + j + 1 < r.words_.size())
+                    r.words_[ws + j + 1] ^= divisor.words_[j] >> (64 - bs);
+            }
         }
-        r.trim();
     }
+    r.trim();
     return r;
 }
 

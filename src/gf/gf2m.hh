@@ -88,6 +88,28 @@ class GaloisField
         return log_[a];
     }
 
+    /**
+     * alpha^e for an already-nonnegative exponent e < 2*(2^m - 1).
+     *
+     * The exp table is doubled, so the sum of two discrete logs can
+     * be looked up directly without a modulo — this is the inner-loop
+     * primitive of the byte-wise BCH syndrome and Chien paths.
+     */
+    Elem
+    alphaPowUnreduced(std::uint32_t e) const
+    {
+        return exp_[e];
+    }
+
+    /** a^2 via the Frobenius map (one table lookup). */
+    Elem
+    square(Elem a) const
+    {
+        if (a == 0)
+            return 0;
+        return exp_[2u * log_[a]];
+    }
+
   private:
     unsigned m_;
     Elem q_;

@@ -39,6 +39,30 @@ TEST(Crc32Test, IncrementalMatchesOneShot)
     EXPECT_EQ(inc, oneshot);
 }
 
+TEST(Crc32Test, SliceBy8MatchesBytewiseReference)
+{
+    // The slicing-by-8 fast path must agree with the one-table
+    // reference at every length (covers the 8-byte fold, the tail
+    // loop, and all alignments of the split point).
+    Rng rng(7);
+    std::vector<std::uint8_t> buf(4096);
+    for (auto& b : buf)
+        b = static_cast<std::uint8_t>(rng.uniformInt(256));
+    for (std::size_t len = 0; len <= 64; ++len)
+        EXPECT_EQ(crc32(buf.data(), len), crc32Bytewise(buf.data(), len))
+            << len;
+    for (std::size_t len : {65u, 100u, 1000u, 2047u, 2048u, 4096u})
+        EXPECT_EQ(crc32(buf.data(), len), crc32Bytewise(buf.data(), len))
+            << len;
+    // Incremental forms agree with each other across odd split points.
+    std::uint32_t a = 0, b = 0;
+    a = crc32Update(a, buf.data(), 13);
+    a = crc32Update(a, buf.data() + 13, 2035);
+    b = crc32BytewiseUpdate(b, buf.data(), 1024);
+    b = crc32BytewiseUpdate(b, buf.data() + 1024, 1024);
+    EXPECT_EQ(a, b);
+}
+
 TEST(Crc32Test, DetectsSingleBitFlips)
 {
     Rng rng(2);
