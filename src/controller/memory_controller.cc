@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cstring>
-#include <set>
 
 #include "ecc/crc32.hh"
 #include "util/log.hh"
@@ -79,21 +78,21 @@ FlashMemoryController::writePageReal(const PageAddress& addr,
                                      const std::uint8_t* data)
 {
     const auto& geom = device_->geometry();
-    std::vector<std::uint8_t> spare(geom.pageSpareBytes, 0);
+    wspare_.assign(geom.pageSpareBytes, 0);
 
     // Spare layout: [0..3] CRC32 of the data, [4..] BCH parity.
     const std::uint32_t crc = crc32(data, geom.pageDataBytes);
-    std::memcpy(spare.data(), &crc, 4);
+    std::memcpy(wspare_.data(), &crc, 4);
     if (desc.eccStrength > 0) {
         const BchCode& code = codeFor(desc.eccStrength);
         if (4 + code.parityBytes() > geom.pageSpareBytes)
             panic("BCH parity does not fit the spare area");
-        code.encode(data, spare.data() + 4);
+        code.encode(data, wspare_.data() + 4);
     }
 
     const Seconds enc = timing_.encodeLatency(desc.eccStrength);
-    const Seconds lat = device_->programPage(addr, data, spare.data()) +
-        enc;
+    const Seconds lat = device_->programPage(addr, data,
+                                             wspare_.data()) + enc;
     stats_.eccTime += enc;
     ++stats_.writes;
     return lat;
@@ -114,14 +113,13 @@ FlashMemoryController::readPageReal(const PageAddress& addr,
     stats_.eccTime += ecc_lat;
     ++stats_.reads;
 
-    const auto* stored = device_->pageData(addr);
+    const PageBytes stored = device_->pageData(addr);
     if (!stored)
         panic("real data path requires a store_data FlashDevice");
 
-    std::vector<std::uint8_t> data(stored->begin(),
-                                   stored->begin() + geom.pageDataBytes);
-    std::vector<std::uint8_t> spare(stored->begin() + geom.pageDataBytes,
-                                    stored->end());
+    dataBuf_.assign(stored.data, stored.data + geom.pageDataBytes);
+    spareBuf_.assign(stored.data + geom.pageDataBytes,
+                     stored.data + stored.size);
 
     // Physically inject the medium's hard errors (plus any extra the
     // caller wants) across the protected region: data + parity.
@@ -131,17 +129,25 @@ FlashMemoryController::readPageReal(const PageAddress& addr,
         ? codeFor(desc.eccStrength).parityBits() : 0;
     const std::uint32_t protected_bits = geom.pageDataBytes * 8 +
         parity_bits;
-    std::set<std::uint32_t> picks;
-    while (picks.size() < nerr && picks.size() < protected_bits) {
-        picks.insert(static_cast<std::uint32_t>(
-            injectRng_.uniformInt(protected_bits)));
+    // Rejection sampling into a flat workspace; one RNG draw per loop
+    // iteration with duplicates re-drawn, exactly like the previous
+    // std::set-based sampler, so injection sequences are unchanged.
+    pickBuf_.clear();
+    while (pickBuf_.size() < nerr && pickBuf_.size() < protected_bits) {
+        const auto p = static_cast<std::uint32_t>(
+            injectRng_.uniformInt(protected_bits));
+        if (std::find(pickBuf_.begin(), pickBuf_.end(), p) ==
+            pickBuf_.end()) {
+            pickBuf_.push_back(p);
+        }
     }
-    for (const std::uint32_t p : picks) {
+    for (const std::uint32_t p : pickBuf_) {
         if (p < geom.pageDataBytes * 8) {
-            data[p / 8] ^= static_cast<std::uint8_t>(1u << (p % 8));
+            dataBuf_[p / 8] ^= static_cast<std::uint8_t>(1u << (p % 8));
         } else {
             const std::uint32_t q = p - geom.pageDataBytes * 8;
-            spare[4 + q / 8] ^= static_cast<std::uint8_t>(1u << (q % 8));
+            spareBuf_[4 + q / 8] ^=
+                static_cast<std::uint8_t>(1u << (q % 8));
         }
     }
 
@@ -149,21 +155,22 @@ FlashMemoryController::readPageReal(const PageAddress& addr,
     unsigned corrected = 0;
     if (desc.eccStrength > 0) {
         const BchCode& code = codeFor(desc.eccStrength);
-        const auto dec = code.decode(data.data(), spare.data() + 4);
+        const auto dec = code.decode(dataBuf_.data(),
+                                     spareBuf_.data() + 4);
         ok = dec.ok;
         corrected = dec.correctedBits;
     } else {
-        ok = picks.empty();
+        ok = pickBuf_.empty();
     }
 
     std::uint32_t stored_crc;
-    std::memcpy(&stored_crc, spare.data(), 4);
-    const bool crc_ok = crc32(data.data(), geom.pageDataBytes) ==
+    std::memcpy(&stored_crc, spareBuf_.data(), 4);
+    const bool crc_ok = crc32(dataBuf_.data(), geom.pageDataBytes) ==
         stored_crc;
 
-    std::memcpy(out, data.data(), geom.pageDataBytes);
+    std::memcpy(out, dataBuf_.data(), geom.pageDataBytes);
     if (ok && crc_ok) {
-        if (corrected == 0 && picks.empty()) {
+        if (corrected == 0 && pickBuf_.empty()) {
             res.status = ReadStatus::Clean;
         } else {
             res.status = ReadStatus::Corrected;

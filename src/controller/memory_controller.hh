@@ -144,6 +144,16 @@ class FlashMemoryController
     ControllerStats stats_;
     std::map<unsigned, std::unique_ptr<BchCode>> codes_;
     Rng injectRng_;
+
+    /// @name Real-path workspaces, reused across calls so steady
+    /// state allocates nothing (the PR 1 BCH workspace pattern);
+    /// makes readPageReal/writePageReal non-reentrant.
+    /// @{
+    std::vector<std::uint8_t> dataBuf_;
+    std::vector<std::uint8_t> spareBuf_;
+    std::vector<std::uint8_t> wspare_;
+    std::vector<std::uint32_t> pickBuf_;
+    /// @}
 };
 
 } // namespace flashcache

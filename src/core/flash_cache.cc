@@ -13,12 +13,12 @@ namespace flashcache {
 FlashCache::FlashCache(FlashMemoryController& controller,
                        BackingStore& store,
                        const FlashCacheConfig& config)
+    // fchtBuckets == 0 passes straight through: the open-addressed
+    // table's auto mode (every slot a home position) replaces the
+    // seed's capacity-derived bucket-count formula. An explicit
+    // bucket count still quantizes homes for the section 3.1 sweep.
     : ctrl_(&controller), store_(&store), config_(config),
-      fcht_(config.fchtBuckets != 0
-                ? config.fchtBuckets
-                : std::max<std::size_t>(
-                      1024, controller.device().geometry().capacityBytes(
-                                DensityMode::MLC) / 2048 / 2))
+      fcht_(config.fchtBuckets)
 {
     const FlashGeometry& geom = ctrl_->device().geometry();
     framesPerBlock_ = geom.framesPerBlock;
@@ -37,6 +37,20 @@ FlashCache::FlashCache(FlashMemoryController& controller,
     for (FpstEntry& e : fpst_)
         e.eccStrength = config_.initialEccStrength;
     fbst_.resize(numBlocks_);
+
+    // Size every hot-path structure up front so steady-state serving
+    // never allocates: LRU slabs and GC bucket heads cover all
+    // blocks, the free pools never regrow, and one page workspace
+    // serves every relocate/flush copy.
+    gcPrev_.assign(numBlocks_, kNoBlock);
+    gcNext_.assign(numBlocks_, kNoBlock);
+    for (Region& reg : regions_) {
+        reg.lruBlocks.resize(numBlocks_);
+        reg.gcBucketHead.assign(2ull * framesPerBlock_ + 1, kNoBlock);
+        reg.freeBlocks.reserve(numBlocks_);
+    }
+    if (config_.realData)
+        pageBuf_.resize(geom.pageDataBytes);
 
     std::uint32_t read_blocks = config_.splitRegions
         ? static_cast<std::uint32_t>(
@@ -123,8 +137,10 @@ FlashCache::takeFreeBlock(int region, bool want_slc, bool background)
         }
     }
     const std::uint32_t block = reg.freeBlocks[pick];
-    reg.freeBlocks.erase(reg.freeBlocks.begin() +
-                         static_cast<std::ptrdiff_t>(pick));
+    // Swap-and-pop: free-pool order carries no meaning, so the O(n)
+    // middle-erase is not worth paying.
+    reg.freeBlocks[pick] = reg.freeBlocks.back();
+    reg.freeBlocks.pop_back();
 
     if (want_slc && fbst_[block].slcFrames != framesPerBlock_) {
         for (std::uint16_t f = 0; f < framesPerBlock_; ++f)
@@ -152,7 +168,7 @@ FlashCache::allocateSlot(int region, bool want_slc, bool background)
         }
         if (cur.frame >= framesPerBlock_) {
             // Block fully programmed: becomes an eviction candidate.
-            reg.lruBlocks.touch(cur.block);
+            lruTouch(reg, cur.block);
             cur.block = kNoBlock;
             continue;
         }
@@ -215,6 +231,111 @@ FlashCache::invalidatePage(std::uint64_t id, bool drop_mapping)
     Region& reg = regions_[regionOf(block)];
     --reg.validCount;
     ++reg.invalidCount;
+    if (reg.lruBlocks.contains(block)) {
+        gcBucketShift(reg, block,
+                      static_cast<std::uint16_t>(fb.invalidPages - 1));
+    }
+}
+
+// ---------------------------------------------------------------------
+// GC victim bookkeeping. Every lruBlocks membership change routes
+// through lruTouch/lruErase/lruClear so the per-invalid-count buckets
+// (links in gcPrev_/gcNext_, heads per region) always hold exactly
+// the LRU-resident blocks. invalidatePage moves a block between
+// buckets; gcPickVictim then finds the seed-identical victim without
+// scanning the region.
+// ---------------------------------------------------------------------
+
+void
+FlashCache::gcBucketInsert(Region& reg, std::uint32_t block)
+{
+    const std::uint16_t c = fbst_[block].invalidPages;
+    gcPrev_[block] = kNoBlock;
+    gcNext_[block] = reg.gcBucketHead[c];
+    if (gcNext_[block] != kNoBlock)
+        gcPrev_[gcNext_[block]] = block;
+    reg.gcBucketHead[c] = block;
+    if (c > reg.gcMaxInvalid)
+        reg.gcMaxInvalid = c;
+}
+
+void
+FlashCache::gcBucketRemove(Region& reg, std::uint32_t block)
+{
+    const std::uint16_t c = fbst_[block].invalidPages;
+    if (gcPrev_[block] != kNoBlock)
+        gcNext_[gcPrev_[block]] = gcNext_[block];
+    else
+        reg.gcBucketHead[c] = gcNext_[block];
+    if (gcNext_[block] != kNoBlock)
+        gcPrev_[gcNext_[block]] = gcPrev_[block];
+    gcPrev_[block] = gcNext_[block] = kNoBlock;
+}
+
+void
+FlashCache::gcBucketShift(Region& reg, std::uint32_t block,
+                          std::uint16_t old_count)
+{
+    // Unlink from the old bucket (the head update needs the index the
+    // block was filed under), then insert at the current count.
+    if (gcPrev_[block] != kNoBlock)
+        gcNext_[gcPrev_[block]] = gcNext_[block];
+    else
+        reg.gcBucketHead[old_count] = gcNext_[block];
+    if (gcNext_[block] != kNoBlock)
+        gcPrev_[gcNext_[block]] = gcPrev_[block];
+    gcBucketInsert(reg, block);
+}
+
+void
+FlashCache::lruTouch(Region& reg, std::uint32_t block)
+{
+    if (!reg.lruBlocks.contains(block))
+        gcBucketInsert(reg, block);
+    reg.lruBlocks.touch(block);
+}
+
+bool
+FlashCache::lruErase(Region& reg, std::uint32_t block)
+{
+    if (!reg.lruBlocks.erase(block))
+        return false;
+    gcBucketRemove(reg, block);
+    return true;
+}
+
+void
+FlashCache::lruClear(Region& reg)
+{
+    reg.lruBlocks.clear();
+    std::fill(reg.gcBucketHead.begin(), reg.gcBucketHead.end(),
+              kNoBlock);
+    reg.gcMaxInvalid = 0;
+}
+
+std::uint32_t
+FlashCache::gcPickVictim(Region& reg)
+{
+    // Lazy decay of the bucket upper bound: each downward step was
+    // paid for by the increment that raised the bound, so the pick
+    // stays O(1) amortized.
+    std::uint32_t m = reg.gcMaxInvalid;
+    while (m > 0 && reg.gcBucketHead[m] == kNoBlock)
+        --m;
+    reg.gcMaxInvalid = m;
+    if (m == 0)
+        return kNoBlock;
+    const std::uint32_t head = reg.gcBucketHead[m];
+    if (gcNext_[head] == kNoBlock)
+        return head; // singleton top bucket: exact O(1) pick
+    // Tie at the top count: the seed scan returned the first
+    // max-count block in MRU order, so replicate that with an
+    // early-exit walk.
+    for (const std::uint32_t b : reg.lruBlocks) {
+        if (fbst_[b].invalidPages == m)
+            return b;
+    }
+    panic("GC bucket holds a block missing from the LRU");
 }
 
 void
@@ -286,11 +407,9 @@ FlashCache::relocatePage(std::uint64_t id, bool want_slc,
     desc.eccStrength = e.eccStrength;
     desc.mode = e.mode;
 
-    std::vector<std::uint8_t> buf;
-    if (config_.realData)
-        buf.resize(ctrl_->device().geometry().pageDataBytes);
-    const ControllerReadResult res = readWithRetry(
-        addr, desc, buf.empty() ? nullptr : buf.data());
+    std::uint8_t* const buf = config_.realData ? pageBuf_.data()
+                                               : nullptr;
+    const ControllerReadResult res = readWithRetry(addr, desc, buf);
     time_sink += res.latency;
 
     if (res.status == ReadStatus::Uncorrectable) {
@@ -312,8 +431,7 @@ FlashCache::relocatePage(std::uint64_t id, bool want_slc,
     const std::uint8_t count = e.accessCount;
 
     invalidatePage(id, false); // mapping moves, not dropped
-    const Seconds wlat = installPage(*slot, lba, dirty, count,
-                                     buf.empty() ? nullptr : buf.data());
+    const Seconds wlat = installPage(*slot, lba, dirty, count, buf);
     time_sink += wlat;
     fcht_.update(lba, *slot);
     ++stats_.gcPageCopies;
@@ -331,16 +449,10 @@ FlashCache::garbageCollect(int region)
     if (reg.invalidCount < 2ull * framesPerBlock_)
         return false;
 
-    std::uint32_t victim = kNoBlock;
-    std::uint16_t best = 0;
-    for (const std::uint32_t b : reg.lruBlocks) {
-        if (fbst_[b].invalidPages > best) {
-            best = fbst_[b].invalidPages;
-            victim = b;
-        }
-    }
+    const std::uint32_t victim = gcPickVictim(reg);
     if (victim == kNoBlock)
         return false;
+    const std::uint16_t best = fbst_[victim].invalidPages;
 
     // A victim that is mostly valid costs more page copies than the
     // space it frees is worth; let the caller evict (flush) instead.
@@ -372,7 +484,7 @@ FlashCache::garbageCollect(int region)
             }
         }
     }
-    reg.lruBlocks.erase(victim);
+    lruErase(reg, victim);
     eraseBlockTracked(victim, stats_.gcTime);
     ++stats_.gcErases;
     reg.freeBlocks.push_back(victim);
@@ -410,7 +522,7 @@ FlashCache::evictBlock(int region)
         return true;
 
     ++stats_.evictions;
-    reg.lruBlocks.erase(victim);
+    lruErase(reg, victim);
     reclaimBlock(victim, true, stats_.evictionTime);
     reg.freeBlocks.push_back(victim);
     return true;
@@ -460,7 +572,7 @@ FlashCache::wearLevelSwap(std::uint32_t victim, std::uint32_t newest)
     ++stats_.evictions;
     ++stats_.wearMigrations;
 
-    vreg.lruBlocks.erase(victim);
+    lruErase(vreg, victim);
     reclaimBlock(victim, true, stats_.evictionTime);
 
     // Copy newest's valid pages into the victim block sequentially.
@@ -493,11 +605,9 @@ FlashCache::wearLevelSwap(std::uint32_t victim, std::uint32_t newest)
             PageDescriptor desc;
             desc.eccStrength = e.eccStrength;
             desc.mode = e.mode;
-            std::vector<std::uint8_t> buf;
-            if (config_.realData)
-                buf.resize(ctrl_->device().geometry().pageDataBytes);
-            const auto res = readWithRetry(
-                addressOf(id), desc, buf.empty() ? nullptr : buf.data());
+            std::uint8_t* const buf =
+                config_.realData ? pageBuf_.data() : nullptr;
+            const auto res = readWithRetry(addressOf(id), desc, buf);
             stats_.evictionTime += res.latency;
 
             if (res.status == ReadStatus::Uncorrectable || !have) {
@@ -509,7 +619,7 @@ FlashCache::wearLevelSwap(std::uint32_t victim, std::uint32_t newest)
                         ++stats_.dataLossPages;
                 } else if (e.dirty) {
                     stats_.evictionTime += config_.realData
-                        ? payloadStore_->writeData(e.lba, buf.data())
+                        ? payloadStore_->writeData(e.lba, buf)
                         : store_->write(e.lba);
                     ++stats_.evictionFlushes;
                 }
@@ -521,9 +631,8 @@ FlashCache::wearLevelSwap(std::uint32_t victim, std::uint32_t newest)
             const bool dirty = e.dirty;
             const std::uint8_t count = e.accessCount;
             invalidatePage(id, false);
-            stats_.evictionTime += installPage(
-                dst, lba, dirty, count,
-                buf.empty() ? nullptr : buf.data());
+            stats_.evictionTime += installPage(dst, lba, dirty, count,
+                                               buf);
             fcht_.update(lba, dst);
             ++stats_.gcPageCopies;
         }
@@ -531,7 +640,7 @@ FlashCache::wearLevelSwap(std::uint32_t victim, std::uint32_t newest)
 
     // The victim block (now holding the migrated content) joins the
     // newest block's region as the most recently used block.
-    nreg.lruBlocks.erase(newest);
+    lruErase(nreg, newest);
     eraseBlockTracked(newest, stats_.evictionTime);
 
     // One block moves each way, so ownedBlocks is conserved; the
@@ -545,7 +654,7 @@ FlashCache::wearLevelSwap(std::uint32_t victim, std::uint32_t newest)
         vreg.invalidCount -= fbst_[victim].invalidPages;
         nreg.invalidCount += fbst_[victim].invalidPages;
     }
-    nreg.lruBlocks.touch(victim);
+    lruTouch(nreg, victim);
     vreg.freeBlocks.push_back(newest);
 }
 
@@ -560,8 +669,13 @@ FlashCache::retireBlock(std::uint32_t block)
         if (cur.block == block)
             cur.block = kNoBlock;
     }
-    reg.lruBlocks.erase(block);
-    std::erase(reg.freeBlocks, block);
+    lruErase(reg, block);
+    const auto it = std::find(reg.freeBlocks.begin(),
+                              reg.freeBlocks.end(), block);
+    if (it != reg.freeBlocks.end()) {
+        *it = reg.freeBlocks.back();
+        reg.freeBlocks.pop_back();
+    }
 
     reclaimBlock(block, true, stats_.evictionTime);
     fbst_[block].retired = true;
@@ -878,11 +992,9 @@ FlashCache::flushPage(std::uint64_t id, Seconds& time_sink)
     desc.eccStrength = e.eccStrength;
     desc.mode = e.mode;
 
-    std::vector<std::uint8_t> buf;
-    if (config_.realData)
-        buf.resize(ctrl_->device().geometry().pageDataBytes);
-    const auto res = readWithRetry(addressOf(id), desc,
-                                   buf.empty() ? nullptr : buf.data());
+    std::uint8_t* const buf = config_.realData ? pageBuf_.data()
+                                               : nullptr;
+    const auto res = readWithRetry(addressOf(id), desc, buf);
     time_sink += res.latency;
     if (res.status == ReadStatus::Uncorrectable) {
         ++stats_.uncorrectableReads;
@@ -890,7 +1002,7 @@ FlashCache::flushPage(std::uint64_t id, Seconds& time_sink)
         return false;
     }
     time_sink += config_.realData
-        ? payloadStore_->writeData(e.lba, buf.data())
+        ? payloadStore_->writeData(e.lba, buf)
         : store_->write(e.lba);
     ++stats_.evictionFlushes;
     return true;
@@ -1000,6 +1112,54 @@ FlashCache::checkInvariants() const
     }
     if (fcht_.size() != valid)
         panic("FCHT size != valid pages");
+
+    // GC bucket invariants: the buckets partition exactly the
+    // LRU-resident blocks by invalid-page count, gcMaxInvalid bounds
+    // every occupied bucket, and the bucket-based victim pick agrees
+    // with the seed's full-region scan.
+    for (const Region& reg : regions_) {
+        std::size_t bucketed = 0;
+        for (std::size_t c = 0; c < reg.gcBucketHead.size(); ++c) {
+            for (std::uint32_t b = reg.gcBucketHead[c]; b != kNoBlock;
+                 b = gcNext_[b]) {
+                ++bucketed;
+                if (fbst_[b].invalidPages != c)
+                    panic("GC bucket index != block invalid count");
+                if (!reg.lruBlocks.contains(b))
+                    panic("GC bucket holds a non-LRU block");
+                if (c > reg.gcMaxInvalid)
+                    panic("GC bucket above the tracked maximum");
+            }
+        }
+        if (bucketed != reg.lruBlocks.size())
+            panic("GC buckets out of sync with the LRU");
+
+        std::uint32_t seed_victim = kNoBlock;
+        std::uint16_t best = 0;
+        for (const std::uint32_t b : reg.lruBlocks) {
+            if (fbst_[b].invalidPages > best) {
+                best = fbst_[b].invalidPages;
+                seed_victim = b;
+            }
+        }
+        std::uint32_t m = reg.gcMaxInvalid;
+        while (m > 0 && reg.gcBucketHead[m] == kNoBlock)
+            --m;
+        std::uint32_t bucket_victim = kNoBlock;
+        if (m > 0) {
+            bucket_victim = reg.gcBucketHead[m];
+            if (gcNext_[bucket_victim] != kNoBlock) {
+                for (const std::uint32_t b : reg.lruBlocks) {
+                    if (fbst_[b].invalidPages == m) {
+                        bucket_victim = b;
+                        break;
+                    }
+                }
+            }
+        }
+        if (seed_victim != bucket_victim)
+            panic("GC victim pick diverges from the seed scan");
+    }
 }
 
 
@@ -1073,11 +1233,13 @@ FlashCache::loadState(std::istream& is)
     }
     for (Region& reg : regions_) {
         reg.freeBlocks = getVector<std::uint32_t>(is);
+        reg.freeBlocks.reserve(numBlocks_);
         const auto lru = getVector<std::uint32_t>(is);
-        reg.lruBlocks.clear();
-        // Saved MRU-first; rebuild by inserting coldest-first.
+        lruClear(reg);
+        // Saved MRU-first; rebuild by inserting coldest-first (the
+        // FBST loaded above supplies the GC bucket counts).
         for (auto it = lru.rbegin(); it != lru.rend(); ++it)
-            reg.lruBlocks.touch(*it);
+            lruTouch(reg, *it);
         for (auto& cur : reg.cursor) {
             cur.block = getScalar<std::uint32_t>(is);
             cur.frame = getScalar<std::uint16_t>(is);
@@ -1090,9 +1252,7 @@ FlashCache::loadState(std::istream& is)
     windowReads_ = getScalar<std::uint64_t>(is);
 
     // The FCHT is derived state: rebuild it from the FPST.
-    fcht_ = Fcht(config_.fchtBuckets != 0
-                     ? config_.fchtBuckets
-                     : std::max<std::size_t>(1024, fpst_.size() / 4));
+    fcht_ = Fcht(config_.fchtBuckets);
     for (std::uint64_t id = 0; id < fpst_.size(); ++id) {
         if (fpst_[id].state == PageState::Valid)
             fcht_.insert(fpst_[id].lba, id);

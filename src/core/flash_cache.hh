@@ -92,8 +92,9 @@ struct FlashCacheConfig
      *  storage log that can never evict (Figure 1(b)'s regime). */
     double gcMinInvalidFraction = 0.25;
 
-    /** FCHT bucket count (section 3.1 sweeps this); 0 sizes the
-     *  table to the flash capacity automatically. */
+    /** FCHT bucket count (section 3.1 sweeps this); 0 selects the
+     *  table's auto mode, where every slot is a home position and
+     *  probe cost tracks the load factor alone. */
     std::size_t fchtBuckets = 0;
 
     /** Reads between access-counter aging sweeps (halving), which
@@ -237,7 +238,7 @@ class FlashCache
     struct Region
     {
         std::vector<std::uint32_t> freeBlocks;
-        LruList<std::uint32_t> lruBlocks; ///< filled, evictable
+        IntrusiveLru lruBlocks; ///< filled, evictable
         /** Append cursors: [0] general, [1] dedicated SLC. */
         struct Cursor
         {
@@ -249,6 +250,16 @@ class FlashCache
         std::uint32_t ownedBlocks = 0;
         std::uint64_t validCount = 0;
         std::uint64_t invalidCount = 0;
+
+        /// @name Incremental GC victim tracking: doubly linked buckets
+        /// of LRU-resident blocks keyed by invalid-page count (links
+        /// live in FlashCache::gcPrev_/gcNext_), plus a lazily decayed
+        /// upper bound on the occupied bucket indices. Victim pick is
+        /// O(1) amortized instead of the seed's full-region scan.
+        /// @{
+        std::vector<std::uint32_t> gcBucketHead;
+        std::uint32_t gcMaxInvalid = 0;
+        /// @}
     };
 
     /// @name Page id <-> address mapping.
@@ -377,6 +388,25 @@ class FlashCache
 
     double pageAccessFreq(const FpstEntry& e) const;
 
+    /// @name GC bucket + LRU maintenance. All lruBlocks membership
+    /// changes go through these wrappers so the invalid-count buckets
+    /// stay consistent with the replacement list.
+    /// @{
+    void gcBucketInsert(Region& reg, std::uint32_t block);
+    void gcBucketRemove(Region& reg, std::uint32_t block);
+    /** Move a block between buckets after invalidPages changed. */
+    void gcBucketShift(Region& reg, std::uint32_t block,
+                       std::uint16_t old_count);
+    void lruTouch(Region& reg, std::uint32_t block);
+    bool lruErase(Region& reg, std::uint32_t block);
+    void lruClear(Region& reg);
+    /** Pick the seed-identical GC victim (first block in MRU order
+     *  with maximal invalidPages), or kNoBlock when none invalid.
+     *  Writes the decayed bucket upper bound back into the region
+     *  (lazy decrement — paid for by past increments). */
+    std::uint32_t gcPickVictim(Region& reg);
+    /// @}
+
     FlashMemoryController* ctrl_;
     BackingStore* store_;
     PayloadBackingStore* payloadStore_ = nullptr; ///< real-data mode
@@ -389,6 +419,15 @@ class FlashCache
     std::vector<FpstEntry> fpst_;
     std::vector<FbstEntry> fbst_;
     std::array<Region, 2> regions_;
+
+    /** Per-block GC bucket links (shared across regions; a block is
+     *  in at most one region's buckets at a time). */
+    std::vector<std::uint32_t> gcPrev_;
+    std::vector<std::uint32_t> gcNext_;
+
+    /** Constructor-sized page workspace for relocate/flush/migration
+     *  copies in real-data mode (no per-call buffers). */
+    std::vector<std::uint8_t> pageBuf_;
 
     FlashCacheStats stats_;
     std::uint64_t readsSinceAging_ = 0;

@@ -1,15 +1,31 @@
 /**
  * @file
- * Generic O(1) LRU ordering used by the primary disk cache, the
- * per-region block replacement lists, and the workload stack-
- * distance analyzer.
+ * LRU orderings used by the primary disk cache, the per-region block
+ * replacement lists, and the workload stack-distance analyzer.
+ *
+ * Three implementations with one semantic contract (touch() moves a
+ * key to the MRU end, lru() reads the coldest key):
+ *
+ *  - LruList<Key>: the seed std::list + unordered_map implementation,
+ *    retained as the differential-test oracle and bench baseline.
+ *  - IntrusiveLru: index-linked array over dense uint32 ids (block
+ *    numbers); touch() is two loads and four stores — no hashing, no
+ *    allocation. Backs Region::lruBlocks in the flash cache.
+ *  - KeyedLru<Key>: sparse keys (LBAs) resolved through an
+ *    open-addressed slot index onto intrusive links; allocation-free
+ *    in steady state once reserved. Backs the PDC LRUs.
  */
 
 #ifndef FLASHCACHE_CORE_LRU_HH
 #define FLASHCACHE_CORE_LRU_HH
 
+#include <algorithm>
+#include <cstdint>
+#include <iterator>
 #include <list>
+#include <type_traits>
 #include <unordered_map>
+#include <vector>
 
 #include "util/log.hh"
 
@@ -17,7 +33,10 @@ namespace flashcache {
 
 /**
  * An ordered set of keys where touch() moves a key to the MRU end
- * and lru() reads the coldest key. All operations are O(1).
+ * and lru() reads the coldest key. All operations are O(1), but each
+ * carries a hash lookup and inserts allocate a list node. Retained
+ * as the reference implementation; the serving hot paths use
+ * IntrusiveLru / KeyedLru below.
  */
 template <typename Key>
 class LruList
@@ -33,10 +52,14 @@ class LruList
     touch(const Key& k)
     {
         auto it = index_.find(k);
-        if (it != index_.end())
-            order_.erase(it->second);
+        if (it != index_.end()) {
+            // splice() relinks the existing node: the iterator stays
+            // valid, so no index update (and no allocation) needed.
+            order_.splice(order_.begin(), order_, it->second);
+            return;
+        }
         order_.push_front(k);
-        index_[k] = order_.begin();
+        index_.emplace(k, order_.begin());
     }
 
     /** Insert as LRU (coldest) without affecting existing entries. */
@@ -44,10 +67,12 @@ class LruList
     insertCold(const Key& k)
     {
         auto it = index_.find(k);
-        if (it != index_.end())
-            order_.erase(it->second);
+        if (it != index_.end()) {
+            order_.splice(order_.end(), order_, it->second);
+            return;
+        }
         order_.push_back(k);
-        index_[k] = std::prev(order_.end());
+        index_.emplace(k, std::prev(order_.end()));
     }
 
     /** Remove a key if present. @return true when it was present. */
@@ -103,6 +128,497 @@ class LruList
   private:
     std::list<Key> order_;
     std::unordered_map<Key, typename std::list<Key>::iterator> index_;
+};
+
+/**
+ * LRU ordering over dense ids in [0, capacity): prev/next are
+ * uint32 indices into one slab, keyed directly by the id. touch()
+ * of a present id is two loads and four stores — no hashing, no
+ * allocation, no pointer chasing through heap nodes.
+ */
+class IntrusiveLru
+{
+  public:
+    static constexpr std::uint32_t kNull = ~0u;
+
+    IntrusiveLru() = default;
+
+    explicit IntrusiveLru(std::uint32_t capacity) { resize(capacity); }
+
+    /** Ids must stay below the capacity; growing keeps membership. */
+    void
+    resize(std::uint32_t capacity)
+    {
+        nodes_.resize(capacity);
+    }
+
+    std::uint32_t capacity() const
+    {
+        return static_cast<std::uint32_t>(nodes_.size());
+    }
+
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+
+    bool
+    contains(std::uint32_t id) const
+    {
+        return id < nodes_.size() && nodes_[id].in;
+    }
+
+    /** Insert as MRU, or move an existing id to MRU. */
+    void
+    touch(std::uint32_t id)
+    {
+        Node& n = node(id);
+        if (n.in) {
+            if (head_ == id)
+                return;
+            unlink(n);
+        } else {
+            n.in = true;
+            ++size_;
+        }
+        n.prev = kNull;
+        n.next = head_;
+        if (head_ != kNull)
+            nodes_[head_].prev = id;
+        head_ = id;
+        if (tail_ == kNull)
+            tail_ = id;
+    }
+
+    /** Insert as LRU (coldest) without affecting existing entries. */
+    void
+    insertCold(std::uint32_t id)
+    {
+        Node& n = node(id);
+        if (n.in) {
+            if (tail_ == id)
+                return;
+            unlink(n);
+        } else {
+            n.in = true;
+            ++size_;
+        }
+        n.next = kNull;
+        n.prev = tail_;
+        if (tail_ != kNull)
+            nodes_[tail_].next = id;
+        tail_ = id;
+        if (head_ == kNull)
+            head_ = id;
+    }
+
+    /** Remove an id if present. @return true when it was present. */
+    bool
+    erase(std::uint32_t id)
+    {
+        if (!contains(id))
+            return false;
+        Node& n = nodes_[id];
+        unlink(n);
+        n.in = false;
+        n.prev = n.next = kNull;
+        --size_;
+        return true;
+    }
+
+    /** The least recently used id. @pre !empty() */
+    std::uint32_t
+    lru() const
+    {
+        if (empty())
+            panic("lru() on empty IntrusiveLru");
+        return tail_;
+    }
+
+    /** The most recently used id. @pre !empty() */
+    std::uint32_t
+    mru() const
+    {
+        if (empty())
+            panic("mru() on empty IntrusiveLru");
+        return head_;
+    }
+
+    /** Remove and return the LRU id. @pre !empty() */
+    std::uint32_t
+    popLru()
+    {
+        const std::uint32_t id = lru();
+        erase(id);
+        return id;
+    }
+
+    void
+    clear()
+    {
+        for (std::uint32_t id = head_; id != kNull;) {
+            Node& n = nodes_[id];
+            const std::uint32_t next = n.next;
+            n.in = false;
+            n.prev = n.next = kNull;
+            id = next;
+        }
+        head_ = tail_ = kNull;
+        size_ = 0;
+    }
+
+    /** Forward iteration from MRU to LRU, yielding ids. */
+    class const_iterator
+    {
+      public:
+        using iterator_category = std::forward_iterator_tag;
+        using value_type = std::uint32_t;
+        using difference_type = std::ptrdiff_t;
+        using pointer = const std::uint32_t*;
+        using reference = std::uint32_t;
+
+        const_iterator() = default;
+
+        const_iterator(const IntrusiveLru* l, std::uint32_t id)
+            : l_(l), id_(id)
+        {
+        }
+
+        std::uint32_t operator*() const { return id_; }
+
+        const_iterator&
+        operator++()
+        {
+            id_ = l_->nodes_[id_].next;
+            return *this;
+        }
+
+        const_iterator
+        operator++(int)
+        {
+            const_iterator old = *this;
+            ++*this;
+            return old;
+        }
+
+        bool
+        operator!=(const const_iterator& o) const
+        {
+            return id_ != o.id_;
+        }
+
+        bool
+        operator==(const const_iterator& o) const
+        {
+            return id_ == o.id_;
+        }
+
+      private:
+        const IntrusiveLru* l_ = nullptr;
+        std::uint32_t id_ = kNull;
+    };
+
+    const_iterator begin() const { return {this, head_}; }
+    const_iterator end() const { return {this, kNull}; }
+
+  private:
+    struct Node
+    {
+        std::uint32_t prev = kNull;
+        std::uint32_t next = kNull;
+        bool in = false;
+    };
+
+    Node&
+    node(std::uint32_t id)
+    {
+        if (id >= nodes_.size())
+            panic("IntrusiveLru id beyond capacity");
+        return nodes_[id];
+    }
+
+    void
+    unlink(Node& n)
+    {
+        if (n.prev != kNull)
+            nodes_[n.prev].next = n.next;
+        else
+            head_ = n.next;
+        if (n.next != kNull)
+            nodes_[n.next].prev = n.prev;
+        else
+            tail_ = n.prev;
+    }
+
+    std::vector<Node> nodes_;
+    std::uint32_t head_ = kNull;
+    std::uint32_t tail_ = kNull;
+    std::size_t size_ = 0;
+};
+
+/**
+ * LRU ordering over sparse unsigned keys (LBAs): an open-addressed
+ * slot index (linear probing, backward-shift deletion) resolves the
+ * key to a slot once, and the recency links are intrusive on the
+ * slot table. After reserve(), steady-state operation allocates
+ * nothing; slot and index storage grow geometrically otherwise.
+ */
+template <typename Key>
+class KeyedLru
+{
+    static_assert(std::is_unsigned_v<Key>,
+                  "KeyedLru keys must be unsigned integers");
+
+  public:
+    static constexpr std::uint32_t kNull = ~0u;
+
+    KeyedLru() { rehash(kMinIndex); }
+
+    /** Pre-size for n keys so steady state never allocates. */
+    void
+    reserve(std::size_t n)
+    {
+        slots_.reserve(n);
+        freeSlots_.reserve(n);
+        std::size_t want = kMinIndex;
+        while (n + n / 2 >= want)
+            want <<= 1;
+        if (want > index_.size())
+            rehash(want);
+    }
+
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+
+    bool
+    contains(const Key& k) const
+    {
+        return findIndex(k) != npos;
+    }
+
+    /** Insert as MRU, or move an existing key to MRU. */
+    void
+    touch(const Key& k)
+    {
+        const std::size_t pos = findIndex(k);
+        if (pos != npos) {
+            const std::uint32_t s = index_[pos];
+            if (head_ == s)
+                return;
+            unlink(s);
+            linkFront(s);
+            return;
+        }
+        linkFront(insertSlot(k));
+    }
+
+    /** Insert as LRU (coldest) without affecting existing entries. */
+    void
+    insertCold(const Key& k)
+    {
+        const std::size_t pos = findIndex(k);
+        if (pos != npos) {
+            const std::uint32_t s = index_[pos];
+            if (tail_ == s)
+                return;
+            unlink(s);
+            linkBack(s);
+            return;
+        }
+        linkBack(insertSlot(k));
+    }
+
+    /** Remove a key if present. @return true when it was present. */
+    bool
+    erase(const Key& k)
+    {
+        const std::size_t pos = findIndex(k);
+        if (pos == npos)
+            return false;
+        const std::uint32_t s = index_[pos];
+        unlink(s);
+        freeSlots_.push_back(s);
+        indexErase(pos);
+        --size_;
+        return true;
+    }
+
+    /** The least recently used key. @pre !empty() */
+    const Key&
+    lru() const
+    {
+        if (empty())
+            panic("lru() on empty KeyedLru");
+        return slots_[tail_].key;
+    }
+
+    /** The most recently used key. @pre !empty() */
+    const Key&
+    mru() const
+    {
+        if (empty())
+            panic("mru() on empty KeyedLru");
+        return slots_[head_].key;
+    }
+
+    /** Remove and return the LRU key. @pre !empty() */
+    Key
+    popLru()
+    {
+        const Key k = lru();
+        erase(k);
+        return k;
+    }
+
+    void
+    clear()
+    {
+        slots_.clear();
+        freeSlots_.clear();
+        std::fill(index_.begin(), index_.end(), kNull);
+        head_ = tail_ = kNull;
+        size_ = 0;
+    }
+
+  private:
+    struct Slot
+    {
+        Key key;
+        std::uint32_t prev;
+        std::uint32_t next;
+    };
+
+    static constexpr std::size_t npos = ~static_cast<std::size_t>(0);
+    static constexpr std::size_t kMinIndex = 16;
+
+    std::size_t
+    homeOf(const Key& k) const
+    {
+        return static_cast<std::size_t>(
+                   (static_cast<std::uint64_t>(k) *
+                    0x9E3779B97F4A7C15ull) >> 32) &
+            (index_.size() - 1);
+    }
+
+    /** Index position holding the key, or npos. */
+    std::size_t
+    findIndex(const Key& k) const
+    {
+        const std::size_t mask = index_.size() - 1;
+        for (std::size_t i = homeOf(k); index_[i] != kNull;
+             i = (i + 1) & mask) {
+            if (slots_[index_[i]].key == k)
+                return i;
+        }
+        return npos;
+    }
+
+    std::uint32_t
+    insertSlot(const Key& k)
+    {
+        if ((size_ + 1) + (size_ + 1) / 2 >= index_.size())
+            rehash(index_.size() * 2);
+        std::uint32_t s;
+        if (!freeSlots_.empty()) {
+            s = freeSlots_.back();
+            freeSlots_.pop_back();
+            slots_[s].key = k;
+        } else {
+            s = static_cast<std::uint32_t>(slots_.size());
+            slots_.push_back({k, kNull, kNull});
+        }
+        const std::size_t mask = index_.size() - 1;
+        std::size_t i = homeOf(k);
+        while (index_[i] != kNull)
+            i = (i + 1) & mask;
+        index_[i] = s;
+        ++size_;
+        return s;
+    }
+
+    /** Backward-shift deletion keeps probes tombstone-free. */
+    void
+    indexErase(std::size_t i)
+    {
+        const std::size_t mask = index_.size() - 1;
+        std::size_t j = i;
+        for (;;) {
+            j = (j + 1) & mask;
+            if (index_[j] == kNull)
+                break;
+            const std::size_t h = homeOf(slots_[index_[j]].key);
+            // Move j's entry into the hole unless its home lies in
+            // the cyclic interval (i, j] — then it is already as
+            // close to home as it can get.
+            const bool home_between =
+                i < j ? (h > i && h <= j) : (h > i || h <= j);
+            if (!home_between) {
+                index_[i] = index_[j];
+                i = j;
+            }
+        }
+        index_[i] = kNull;
+    }
+
+    void
+    rehash(std::size_t buckets)
+    {
+        index_.assign(buckets, kNull);
+        const std::size_t mask = buckets - 1;
+        // Reinsert every live slot (walk the recency list so freed
+        // slots are skipped).
+        for (std::uint32_t s = head_; s != kNull; s = slots_[s].next) {
+            std::size_t i = homeOf(slots_[s].key);
+            while (index_[i] != kNull)
+                i = (i + 1) & mask;
+            index_[i] = s;
+        }
+    }
+
+    void
+    unlink(std::uint32_t s)
+    {
+        Slot& n = slots_[s];
+        if (n.prev != kNull)
+            slots_[n.prev].next = n.next;
+        else
+            head_ = n.next;
+        if (n.next != kNull)
+            slots_[n.next].prev = n.prev;
+        else
+            tail_ = n.prev;
+    }
+
+    void
+    linkFront(std::uint32_t s)
+    {
+        Slot& n = slots_[s];
+        n.prev = kNull;
+        n.next = head_;
+        if (head_ != kNull)
+            slots_[head_].prev = s;
+        head_ = s;
+        if (tail_ == kNull)
+            tail_ = s;
+    }
+
+    void
+    linkBack(std::uint32_t s)
+    {
+        Slot& n = slots_[s];
+        n.next = kNull;
+        n.prev = tail_;
+        if (tail_ != kNull)
+            slots_[tail_].next = s;
+        tail_ = s;
+        if (head_ == kNull)
+            head_ = s;
+    }
+
+    std::vector<Slot> slots_;
+    std::vector<std::uint32_t> freeSlots_;
+    std::vector<std::uint32_t> index_;
+    std::uint32_t head_ = kNull;
+    std::uint32_t tail_ = kNull;
+    std::size_t size_ = 0;
 };
 
 } // namespace flashcache

@@ -1,16 +1,159 @@
 #include "core/tables.hh"
 
+#include <algorithm>
+
 #include "util/log.hh"
 
 namespace flashcache {
 
+namespace {
+
+std::size_t
+roundUpPow2(std::size_t n)
+{
+    std::size_t p = 16;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Open-addressed Fcht.
+// ---------------------------------------------------------------------
+
 Fcht::Fcht(std::size_t buckets)
+    : indexCount_(buckets)
+{
+    // Start the flat table around the configured index width (the
+    // seed allocated one chain head per bucket); it doubles whenever
+    // the load factor passes ~0.7. Auto mode (buckets == 0) has no
+    // configured width, so it starts small and grows on demand.
+    slots_.assign(roundUpPow2(std::min<std::size_t>(
+                      indexCount_ == 0 ? 16 : indexCount_, 1 << 20)),
+                  Slot{0, npos});
+}
+
+std::size_t
+Fcht::findSlot(Lba lba, bool count_probes) const
+{
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = homeOf(lba); slots_[i].pageId != npos;
+         i = (i + 1) & mask) {
+        if (count_probes)
+            ++probes_;
+        if (slots_[i].lba == lba)
+            return i;
+    }
+    return slots_.size();
+}
+
+std::uint64_t
+Fcht::find(Lba lba) const
+{
+    ++lookups_;
+    const std::size_t i = findSlot(lba, true);
+    return i == slots_.size() ? npos : slots_[i].pageId;
+}
+
+void
+Fcht::place(Lba lba, std::uint64_t page_id)
+{
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = homeOf(lba);
+    while (slots_[i].pageId != npos)
+        i = (i + 1) & mask;
+    slots_[i] = {lba, page_id};
+}
+
+void
+Fcht::grow()
+{
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{0, npos});
+    for (const Slot& s : old) {
+        if (s.pageId != npos)
+            place(s.lba, s.pageId);
+    }
+}
+
+void
+Fcht::insert(Lba lba, std::uint64_t page_id)
+{
+    if (page_id == npos)
+        panic("FCHT cannot map to the reserved npos page id");
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = homeOf(lba);
+    while (slots_[i].pageId != npos) {
+        if (slots_[i].lba == lba)
+            panic("FCHT double insert for LBA");
+        i = (i + 1) & mask;
+    }
+    // Keep load factor below ~0.7 so probe runs stay short.
+    if ((size_ + 1) * 10 > slots_.size() * 7) {
+        grow();
+        place(lba, page_id);
+    } else {
+        slots_[i] = {lba, page_id};
+    }
+    ++size_;
+}
+
+bool
+Fcht::erase(Lba lba)
+{
+    std::size_t i = findSlot(lba, false);
+    if (i == slots_.size())
+        return false;
+    // Backward-shift deletion: refill the hole from the probe run so
+    // no tombstones accumulate and find() stays empty-terminated.
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t j = i;
+    for (;;) {
+        j = (j + 1) & mask;
+        if (slots_[j].pageId == npos)
+            break;
+        const std::size_t h = homeOf(slots_[j].lba);
+        const bool home_between =
+            i < j ? (h > i && h <= j) : (h > i || h <= j);
+        if (!home_between) {
+            slots_[i] = slots_[j];
+            i = j;
+        }
+    }
+    slots_[i].pageId = npos;
+    --size_;
+    return true;
+}
+
+void
+Fcht::update(Lba lba, std::uint64_t page_id)
+{
+    const std::size_t i = findSlot(lba, false);
+    if (i == slots_.size())
+        panic("FCHT update of missing LBA");
+    slots_[i].pageId = page_id;
+}
+
+double
+Fcht::avgProbeLength() const
+{
+    return lookups_ ? static_cast<double>(probes_) /
+        static_cast<double>(lookups_) : 0.0;
+}
+
+// ---------------------------------------------------------------------
+// Seed chained implementation (reference oracle / bench baseline).
+// ---------------------------------------------------------------------
+
+FchtChained::FchtChained(std::size_t buckets)
     : buckets_(buckets == 0 ? 1 : buckets)
 {
 }
 
 std::uint64_t
-Fcht::find(Lba lba) const
+FchtChained::find(Lba lba) const
 {
     ++lookups_;
     const auto& chain = buckets_[bucketOf(lba)];
@@ -23,7 +166,7 @@ Fcht::find(Lba lba) const
 }
 
 void
-Fcht::insert(Lba lba, std::uint64_t page_id)
+FchtChained::insert(Lba lba, std::uint64_t page_id)
 {
     auto& chain = buckets_[bucketOf(lba)];
     for (const Entry& e : chain) {
@@ -35,7 +178,7 @@ Fcht::insert(Lba lba, std::uint64_t page_id)
 }
 
 bool
-Fcht::erase(Lba lba)
+FchtChained::erase(Lba lba)
 {
     auto& chain = buckets_[bucketOf(lba)];
     for (std::size_t i = 0; i < chain.size(); ++i) {
@@ -50,7 +193,7 @@ Fcht::erase(Lba lba)
 }
 
 void
-Fcht::update(Lba lba, std::uint64_t page_id)
+FchtChained::update(Lba lba, std::uint64_t page_id)
 {
     auto& chain = buckets_[bucketOf(lba)];
     for (Entry& e : chain) {
@@ -63,7 +206,7 @@ Fcht::update(Lba lba, std::uint64_t page_id)
 }
 
 double
-Fcht::avgProbeLength() const
+FchtChained::avgProbeLength() const
 {
     return lookups_ ? static_cast<double>(probes_) /
         static_cast<double>(lookups_) : 0.0;

@@ -145,16 +145,32 @@ struct Fgst
 /**
  * FlashCache hash table (section 3.1): maps disk LBAs to flash page
  * ids. The paper organizes it as a fully associative table indexed
- * by a hash; bucket count is configurable because the paper reports
- * ~100 indexable entries already reach peak throughput. Probe
- * lengths are tracked so the claim can be measured.
+ * by a hash; the indexable-entry count is configurable because the
+ * paper reports ~100 indexable entries already reach peak
+ * throughput. Probe lengths are tracked so the claim stays
+ * measurable.
+ *
+ * Implemented as an open-addressed flat table (linear probing with
+ * backward-shift deletion) that grows on load factor, so steady
+ * state probes are short and allocation-free. The configured bucket
+ * count is the number of distinct *home positions* the hash can
+ * reach: with few buckets, entries pile into long runs exactly like
+ * the seed implementation's chains did, which preserves the
+ * section 3.1 sweep semantics.
+ *
+ * `buckets == 0` selects auto mode: every slot is a home position,
+ * so the probe cost tracks the load factor alone. Quantized homes
+ * cluster entries into runs that coalesce with their neighbours
+ * (under the auto-sized paper config every home carries ~2 entries
+ * 4 slots apart, and the run tails dominate the lookup cost), so
+ * the cache uses auto mode unless the sweep knob is set explicitly.
  */
 class Fcht
 {
   public:
     static constexpr std::uint64_t npos = ~static_cast<std::uint64_t>(0);
 
-    explicit Fcht(std::size_t buckets = 4096);
+    explicit Fcht(std::size_t buckets = 4096); ///< 0 = auto mode
 
     /** Look up an LBA. @return page id or npos. */
     std::uint64_t find(Lba lba) const;
@@ -169,9 +185,81 @@ class Fcht
     void update(Lba lba, std::uint64_t page_id);
 
     std::size_t size() const { return size_; }
-    std::size_t buckets() const { return buckets_.size(); }
 
-    /** Mean chain entries inspected per find() so far. */
+    /** Indexable hash entries (home positions); in auto mode every
+     *  slot is a home, so this tracks the current slot count. */
+    std::size_t
+    buckets() const
+    {
+        return indexCount_ != 0 ? indexCount_ : slots_.size();
+    }
+
+    /** Current flat-table slot count (grows on load factor). */
+    std::size_t slots() const { return slots_.size(); }
+
+    /** Mean occupied slots inspected per find() so far. */
+    double avgProbeLength() const;
+
+  private:
+    struct Slot
+    {
+        Lba lba;
+        std::uint64_t pageId; ///< npos marks an empty slot
+    };
+
+    /** Position a probe sequence for this LBA starts at. */
+    std::size_t
+    homeOf(Lba lba) const
+    {
+        // Same multiplicative hash as the seed chains. Auto mode
+        // uses the full slot range; otherwise the bucket index is
+        // spread across the flat table so exactly `buckets` distinct
+        // home positions exist.
+        const auto hash = static_cast<std::size_t>(
+            (lba * 0x9E3779B97F4A7C15ull) >> 32);
+        if (indexCount_ == 0)
+            return hash & (slots_.size() - 1);
+        const std::size_t bucket = hash % indexCount_;
+        return static_cast<std::size_t>(
+            (static_cast<unsigned __int128>(bucket) * slots_.size()) /
+            indexCount_);
+    }
+
+    /** Slot holding the LBA, or the table size when absent; probe
+     *  instrumentation only accumulates when count_probes is set
+     *  (find() counts, erase()/update() do not — seed semantics). */
+    std::size_t findSlot(Lba lba, bool count_probes) const;
+
+    void grow();
+    void place(Lba lba, std::uint64_t page_id);
+
+    std::vector<Slot> slots_;
+    std::size_t indexCount_;
+    std::size_t size_ = 0;
+    mutable std::uint64_t lookups_ = 0;
+    mutable std::uint64_t probes_ = 0;
+};
+
+/**
+ * The seed chained FCHT (fixed bucket vector of entry chains),
+ * retained verbatim as the differential-test oracle and the bench
+ * baseline for the open-addressed rewrite — the same pattern PR 1
+ * used for the bit-serial BCH reference.
+ */
+class FchtChained
+{
+  public:
+    static constexpr std::uint64_t npos = ~static_cast<std::uint64_t>(0);
+
+    explicit FchtChained(std::size_t buckets = 4096);
+
+    std::uint64_t find(Lba lba) const;
+    void insert(Lba lba, std::uint64_t page_id);
+    bool erase(Lba lba);
+    void update(Lba lba, std::uint64_t page_id);
+
+    std::size_t size() const { return size_; }
+    std::size_t buckets() const { return buckets_.size(); }
     double avgProbeLength() const;
 
   private:
@@ -184,7 +272,6 @@ class Fcht
     std::size_t
     bucketOf(Lba lba) const
     {
-        // Multiplicative hash; buckets need not be a power of two.
         return static_cast<std::size_t>(
             (lba * 0x9E3779B97F4A7C15ull) >> 32) % buckets_.size();
     }

@@ -1,6 +1,7 @@
 #include "flash/flash_device.hh"
 
 #include <algorithm>
+#include <cstring>
 #include <sstream>
 
 #include "reliability/page_health.hh"
@@ -23,6 +24,13 @@ FlashDevice::FlashDevice(const FlashGeometry& geometry,
     frames_.resize(nframes);
     blockErases_.assign(geom_.numBlocks, 0);
     programmed_.assign(nframes * 2, false);
+
+    if (storeData_) {
+        slotBytes_ = static_cast<std::size_t>(geom_.pageDataBytes) +
+            geom_.pageSpareBytes;
+        arena_.resize(nframes * 2 * slotBytes_);
+        dataLen_.assign(nframes * 2, 0);
+    }
 
     // Factory bad-block marking, deterministic per seed.
     factoryBad_.assign(geom_.numBlocks, false);
@@ -168,11 +176,15 @@ FlashDevice::programPage(const PageAddress& addr, const std::uint8_t* data,
         ? timing_.slcWriteLatency : timing_.mlcWriteLatency;
 
     if (storeData_ && data) {
-        std::vector<std::uint8_t> buf(data, data + geom_.pageDataBytes);
+        std::uint8_t* const dst = &arena_[lp * slotBytes_];
+        std::memcpy(dst, data, geom_.pageDataBytes);
+        std::uint32_t len = geom_.pageDataBytes;
         if (spare) {
-            buf.insert(buf.end(), spare, spare + geom_.pageSpareBytes);
+            std::memcpy(dst + geom_.pageDataBytes, spare,
+                        geom_.pageSpareBytes);
+            len += geom_.pageSpareBytes;
         }
-        data_[lp] = std::move(buf);
+        dataLen_[lp] = len;
     }
     ++stats_.programs;
     account(lat);
@@ -197,8 +209,8 @@ FlashDevice::eraseBlock(std::uint32_t block)
             (static_cast<std::size_t>(block) * geom_.framesPerBlock + f) *
             2;
         if (storeData_) {
-            data_.erase(base);
-            data_.erase(base + 1);
+            dataLen_[base] = 0;
+            dataLen_[base + 1] = 0;
         }
         programmed_[base] = false;
         programmed_[base + 1] = false;
@@ -251,11 +263,15 @@ FlashDevice::isProgrammed(const PageAddress& addr) const
     return programmed_[linearPage(addr)];
 }
 
-const std::vector<std::uint8_t>*
+PageBytes
 FlashDevice::pageData(const PageAddress& addr) const
 {
-    const auto it = data_.find(linearPage(addr));
-    return it == data_.end() ? nullptr : &it->second;
+    if (!storeData_)
+        return {};
+    const std::size_t lp = linearPage(addr);
+    if (dataLen_[lp] == 0)
+        return {};
+    return {&arena_[lp * slotBytes_], dataLen_[lp]};
 }
 
 void
@@ -284,10 +300,21 @@ FlashDevice::saveState(std::ostream& os) const
         putScalar(os, byte);
     }
 
-    // Retained payloads (store_data mode).
-    putScalar<std::uint64_t>(os, data_.size());
-    for (const auto& [lp, bytes] : data_) {
+    // Retained payloads (store_data mode); same (lp, bytes) wire
+    // format as the old per-page map, written in page order.
+    std::uint64_t stored = 0;
+    for (const std::uint32_t len : dataLen_) {
+        if (len != 0)
+            ++stored;
+    }
+    putScalar<std::uint64_t>(os, stored);
+    std::vector<std::uint8_t> bytes;
+    for (std::size_t lp = 0; lp < dataLen_.size(); ++lp) {
+        if (dataLen_[lp] == 0)
+            continue;
         putScalar<std::uint64_t>(os, lp);
+        const std::uint8_t* const src = &arena_[lp * slotBytes_];
+        bytes.assign(src, src + dataLen_[lp]);
         putVector(os, bytes);
     }
 }
@@ -323,11 +350,16 @@ FlashDevice::loadState(std::istream& is)
             programmed_[i + b] = (byte >> b) & 1;
     }
 
-    data_.clear();
+    std::fill(dataLen_.begin(), dataLen_.end(), 0);
     const auto npages = getScalar<std::uint64_t>(is);
     for (std::uint64_t i = 0; i < npages; ++i) {
         const auto lp = getScalar<std::uint64_t>(is);
-        data_[lp] = getVector<std::uint8_t>(is);
+        const auto bytes = getVector<std::uint8_t>(is);
+        if (lp >= dataLen_.size() || bytes.size() > slotBytes_)
+            fatal("flash state file payload out of range");
+        std::memcpy(&arena_[lp * slotBytes_], bytes.data(),
+                    bytes.size());
+        dataLen_[lp] = static_cast<std::uint32_t>(bytes.size());
     }
 }
 

@@ -17,7 +17,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "flash/flash_spec.hh"
@@ -27,6 +26,15 @@
 #include "util/types.hh"
 
 namespace flashcache {
+
+/** View of a stored page payload (data + spare, contiguous). */
+struct PageBytes
+{
+    const std::uint8_t* data = nullptr;
+    std::size_t size = 0;
+
+    explicit operator bool() const { return data != nullptr; }
+};
 
 /** Aggregate operation counters and energy/busy-time accounting. */
 struct FlashOpStats
@@ -135,9 +143,9 @@ class FlashDevice
 
     bool isProgrammed(const PageAddress& addr) const;
 
-    /** Stored payload of a programmed page (store_data mode only). */
-    const std::vector<std::uint8_t>* pageData(const PageAddress& addr)
-        const;
+    /** Stored payload of a programmed page (store_data mode only);
+     *  empty (null data) when nothing is stored. */
+    PageBytes pageData(const PageAddress& addr) const;
 
     const FlashOpStats& stats() const { return stats_; }
 
@@ -192,7 +200,17 @@ class FlashDevice
     std::vector<std::uint32_t> blockErases_;
     std::vector<bool> programmed_;
     std::vector<bool> factoryBad_;
-    std::unordered_map<std::size_t, std::vector<std::uint8_t>> data_;
+
+    /// @name Retained payloads (store_data mode): one flat arena
+    /// sized at construction — a fixed slot of data+spare bytes per
+    /// page — instead of a per-page heap vector. dataLen_ of 0 marks
+    /// an absent payload.
+    /// @{
+    std::vector<std::uint8_t> arena_;
+    std::vector<std::uint32_t> dataLen_;
+    std::size_t slotBytes_ = 0;
+    /// @}
+
     FlashOpStats stats_;
     double softErrorRate_ = 0.0;
     Rng softRng_;

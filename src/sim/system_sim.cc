@@ -49,6 +49,10 @@ SystemSimulator::SystemSimulator(const SystemConfig& config)
     // cache before the flusher drains the coldest ones.
     pdcDirtyLimit_ = std::max<std::uint64_t>(config.writebackBatch,
                                              pdcCapacityPages_ / 8);
+    // Pre-size the PDC LRUs (one extra entry: fills touch before the
+    // capacity check evicts) so steady-state serving never allocates.
+    pdcLru_.reserve(pdcCapacityPages_ + 1);
+    pdcDirtyLru_.reserve(pdcDirtyLimit_ + config.writebackBatch);
 
     if (config.flashBytes > 0) {
         lifetime_ = std::make_unique<CellLifetimeModel>(config.wear);

@@ -149,9 +149,11 @@ class SystemSimulator
 
     /** PDC state: LRU over cached pages; a page is dirty iff it is
      *  in the dirty LRU (kept separately so write-back picks the
-     *  coldest dirty pages in O(1)). */
-    LruList<Lba> pdcLru_;
-    LruList<Lba> pdcDirtyLru_;
+     *  coldest dirty pages in O(1)). KeyedLru resolves the sparse
+     *  LBA keys through an open-addressed slot index; reserved in
+     *  the constructor so serving never allocates. */
+    KeyedLru<Lba> pdcLru_;
+    KeyedLru<Lba> pdcDirtyLru_;
     std::uint64_t pdcCapacityPages_;
     std::uint64_t pdcDirtyLimit_;
 

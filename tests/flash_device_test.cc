@@ -198,13 +198,13 @@ TEST(FlashDeviceDataTest, StoreDataRoundTrip)
     std::vector<std::uint8_t> data(2048, 0xAB);
     std::vector<std::uint8_t> spare(64, 0xCD);
     dev.programPage({0, 0, 0}, data.data(), spare.data());
-    const auto* stored = dev.pageData({0, 0, 0});
-    ASSERT_NE(stored, nullptr);
-    ASSERT_EQ(stored->size(), 2048u + 64u);
-    EXPECT_EQ((*stored)[0], 0xAB);
-    EXPECT_EQ((*stored)[2048], 0xCD);
+    const PageBytes stored = dev.pageData({0, 0, 0});
+    ASSERT_TRUE(stored);
+    ASSERT_EQ(stored.size, 2048u + 64u);
+    EXPECT_EQ(stored.data[0], 0xAB);
+    EXPECT_EQ(stored.data[2048], 0xCD);
     dev.eraseBlock(0);
-    EXPECT_EQ(dev.pageData({0, 0, 0}), nullptr);
+    EXPECT_FALSE(dev.pageData({0, 0, 0}));
 }
 
 TEST(FlashAreaModelTest, CapacityScalesWithAreaAndDensity)

@@ -94,6 +94,68 @@ TEST(FchtTest, ProbeLengthShrinksWithMoreBuckets)
     EXPECT_LT(p4096, 2.0);
 }
 
+TEST(FchtTest, FlatTableGrowsOnLoadFactor)
+{
+    // The open-addressed table must keep the load factor bounded by
+    // growing, and every mapping must survive each rehash.
+    Fcht t(4096);
+    const std::size_t initial = t.slots();
+    for (Lba l = 0; l < 10000; ++l)
+        t.insert(l, l * 3);
+    EXPECT_GT(t.slots(), initial);
+    // Load factor stays below ~0.7 after growth.
+    EXPECT_LT(10 * t.size(), 7 * t.slots() + 10);
+    for (Lba l = 0; l < 10000; ++l)
+        ASSERT_EQ(t.find(l), l * 3);
+    EXPECT_EQ(t.buckets(), 4096u); // configured index width reported
+}
+
+TEST(FchtTest, EraseKeepsProbeRunsReachable)
+{
+    // Backward-shift deletion: removing an entry in the middle of a
+    // probe run must not strand later entries of the run.
+    Fcht t(1); // one home position: everything shares a single run
+    for (Lba l = 0; l < 12; ++l)
+        t.insert(l, 100 + l);
+    for (Lba l = 0; l < 12; l += 2)
+        EXPECT_TRUE(t.erase(l));
+    for (Lba l = 1; l < 12; l += 2)
+        EXPECT_EQ(t.find(l), 100 + l);
+    for (Lba l = 0; l < 12; l += 2)
+        EXPECT_EQ(t.find(l), Fcht::npos);
+}
+
+TEST(FchtTest, AutoModeMatchesChainedUnderChurn)
+{
+    // buckets == 0 selects auto mode (every slot a home position).
+    // The mapping behaviour must stay identical to the seed chained
+    // table through a churned insert/erase/update history.
+    Fcht t(0);
+    FchtChained oracle(64);
+    Rng rng(11);
+    for (int step = 0; step < 20000; ++step) {
+        const Lba lba = rng.uniformInt(4096);
+        const std::uint64_t page = 7'000'000 + step;
+        if (t.find(lba) == Fcht::npos) {
+            t.insert(lba, page);
+            oracle.insert(lba, page);
+        } else if (rng.uniformInt(2) == 0) {
+            t.update(lba, page);
+            oracle.update(lba, page);
+        } else {
+            EXPECT_TRUE(t.erase(lba));
+            EXPECT_TRUE(oracle.erase(lba));
+        }
+    }
+    ASSERT_EQ(t.size(), oracle.size());
+    for (Lba l = 0; l < 4096; ++l)
+        ASSERT_EQ(t.find(l), oracle.find(l));
+    // Auto mode reports the slot count as its indexable width and
+    // still keeps the load factor bounded.
+    EXPECT_EQ(t.buckets(), t.slots());
+    EXPECT_LT(10 * t.size(), 7 * t.slots() + 10);
+}
+
 TEST(FbstTest, WearOutCostFunction)
 {
     FbstEntry e;
