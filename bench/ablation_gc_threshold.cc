@@ -12,11 +12,17 @@
 #include <cstdio>
 
 #include "core/flash_cache.hh"
+#include "obs/cli.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "workload/macro.hh"
 
 using namespace flashcache;
 
 namespace {
+
+/** Exporter flags; the last sweep point feeds the snapshots. */
+obs::CliOptions obsOpts;
 
 class NullStore : public BackingStore
 {
@@ -26,7 +32,7 @@ class NullStore : public BackingStore
 };
 
 void
-run(double threshold)
+run(double threshold, bool last)
 {
     CellLifetimeModel lifetime;
     const FlashGeometry geom = FlashGeometry::forMlcCapacity(mib(32));
@@ -37,6 +43,10 @@ run(double threshold)
     FlashCacheConfig cfg;
     cfg.gcMinInvalidFraction = threshold;
     FlashCache cache(ctrl, store, cfg);
+
+    obs::Tracer tracer(obsOpts.traceEvents);
+    if (obsOpts.wantTrace())
+        cache.setTracer(&tracer);
 
     auto gen = makeMacro(macroConfig("dbt2", 0.125));
     Rng rng(31);
@@ -54,19 +64,33 @@ run(double threshold)
                 static_cast<unsigned long long>(st.gcPageCopies),
                 static_cast<unsigned long long>(st.evictionFlushes),
                 100.0 * cache.occupancy());
+
+    if (last) {
+        if (obsOpts.wantStats()) {
+            obs::MetricRegistry reg;
+            device.registerMetrics(reg);
+            cache.registerMetrics(reg);
+            ctrl.registerMetrics(reg);
+            obs::writeStatsJson(reg, obsOpts.statsJson);
+        }
+        if (obsOpts.wantTrace())
+            obs::writeTrace(tracer, obsOpts.traceOut);
+    }
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    obsOpts = obs::CliOptions::parse(argc, argv);
     std::printf("=== Ablation: GC victim threshold (dbt2 model, 32 MB "
                 "flash) ===\n\n");
     std::printf("%10s %13s %14s %14s %13s\n", "threshold", "read miss",
                 "GC copies", "evict flushes", "occupancy");
-    for (const double t : {0.0, 0.10, 0.25, 0.50, 0.90})
-        run(t);
+    const double sweep[] = {0.0, 0.10, 0.25, 0.50, 0.90};
+    for (const double t : sweep)
+        run(t, t == sweep[4]);
     std::printf("\nThreshold 0 = storage-log behaviour (copy "
                 "everything, never evict); 0.9 = evict-mostly.\nThe "
                 "default 0.25 keeps copies bounded without giving up "

@@ -15,12 +15,17 @@
 
 #include <cstdio>
 
+#include "obs/cli.hh"
+#include "obs/trace.hh"
 #include "sim/system_sim.hh"
 #include "workload/macro.hh"
 
 using namespace flashcache;
 
 namespace {
+
+/** Exporter flags; the last simulator run feeds the snapshots. */
+obs::CliOptions obsOpts;
 
 struct RunResult
 {
@@ -45,8 +50,14 @@ run(const char* workload, double scale, std::uint64_t dram,
     cfg.dramSpec.deviceBytes = static_cast<std::uint64_t>(
         static_cast<double>(cfg.dramSpec.deviceBytes) * scale);
     SystemSimulator sim(cfg);
+    if (obsOpts.wantTrace())
+        sim.enableTracing(obsOpts.traceEvents);
     auto gen = makeMacro(macroConfig(workload, scale));
     sim.run(*gen, requests);
+    if (obsOpts.wantStats())
+        obs::writeStatsJson(sim.metrics(), obsOpts.statsJson);
+    if (obsOpts.wantTrace())
+        obs::writeTrace(*sim.tracer(), obsOpts.traceOut);
     return {sim.powerReport(), sim.stats().throughput()};
 }
 
@@ -79,8 +90,9 @@ compare(const char* workload, double scale, std::uint64_t dram_only,
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    obsOpts = obs::CliOptions::parse(argc, argv);
     std::printf("=== Figure 9: memory+disk power breakdown and network "
                 "bandwidth ===\n");
 

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Observability-overhead snapshot (the bench_snapshot CMake target,
+ * alongside ecc_snapshot and cache_snapshot). Times the full system
+ * serving path in three configurations:
+ *
+ *   serve_disabled  metric registry attached (it always is — the
+ *                   registry only reads counters the layers already
+ *                   keep), tracer not attached. This is the default
+ *                   production configuration and must match the
+ *                   pre-observability serving cost.
+ *   serve_metrics   serve_disabled plus a full registry JSON
+ *                   snapshot every 4096 requests, bounding the cost
+ *                   of periodic metric scraping.
+ *   serve_tracing   tracer attached: every request records spans and
+ *                   leaves into the preallocated ring.
+ *
+ * Also times the one-shot exporters and replays the pdc_hit micro
+ * from cache_snapshot so the driver can cross-check this binary's
+ * numbers against BENCH_cache.json within noise. Writes
+ * BENCH_obs.json.
+ *
+ * Usage: obs_snapshot [output.json]   (default: BENCH_obs.json)
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/lru.hh"
+#include "obs/trace.hh"
+#include "sim/system_sim.hh"
+#include "util/rng.hh"
+#include "workload/macro.hh"
+
+using namespace flashcache;
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+double
+elapsedUs(clock_type::time_point start)
+{
+    return std::chrono::duration<double, std::micro>(
+        clock_type::now() - start).count();
+}
+
+/** Serving-path configuration shared by all three modes. */
+SystemConfig
+benchConfig()
+{
+    SystemConfig cfg;
+    cfg.dramBytes = mib(16);
+    cfg.flashBytes = mib(32);
+    cfg.seed = 77;
+    return cfg;
+}
+
+/**
+ * Time requests/sec through a fresh simulator: warm one batch, then
+ * take the fastest of `reps` timed batches. `perBatch` runs between
+ * batches (e.g. a periodic stats scrape) without being excluded —
+ * its amortized cost is exactly what the mode measures.
+ */
+double
+timeServe(bool tracing, int reps, std::uint64_t batch,
+          const std::function<void(SystemSimulator&)>& perBatch = {})
+{
+    SystemSimulator sim(benchConfig());
+    if (tracing)
+        sim.enableTracing();
+    auto gen = makeMacro(macroConfig("dbt2", 0.02));
+    sim.run(*gen, batch); // warm: populate PDC + flash cache
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+        const auto start = clock_type::now();
+        sim.run(*gen, batch);
+        if (perBatch)
+            perBatch(sim);
+        best = std::min(best,
+                        elapsedUs(start) / static_cast<double>(batch));
+    }
+    return best;
+}
+
+struct Entry
+{
+    std::string name;
+    double value;
+};
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const char* out_path = argc > 1 ? argv[1] : "BENCH_obs.json";
+    constexpr std::uint64_t kBatch = 100000;
+    constexpr int kReps = 7;
+    std::vector<Entry> phases;
+
+    auto record = [&](const std::string& name, double us) {
+        phases.push_back({name, us});
+        std::printf("%-24s %10.4f us/op %14.0f ops/s\n", name.c_str(),
+                    us, 1e6 / us);
+        return us;
+    };
+
+    const double disabled = record("serve_disabled",
+                                   timeServe(false, kReps, kBatch));
+    const double metrics = record(
+        "serve_metrics",
+        timeServe(false, kReps, kBatch, [](SystemSimulator& sim) {
+            // Scrape every 4096 requests on average: one snapshot
+            // per batch costs batch/4096 snapshots' worth here.
+            for (std::uint64_t i = 0; i < kBatch / 4096; ++i) {
+                std::ostringstream os;
+                sim.writeStatsJson(os);
+            }
+        }));
+    const double tracing = record("serve_tracing",
+                                  timeServe(true, kReps, kBatch));
+
+    // One-shot exporter costs, measured on a traced, warmed run.
+    double stats_us = 0.0, trace_us = 0.0;
+    {
+        SystemSimulator sim(benchConfig());
+        sim.enableTracing();
+        auto gen = makeMacro(macroConfig("dbt2", 0.02));
+        sim.run(*gen, 2 * kBatch);
+        for (int r = 0; r < kReps; ++r) {
+            std::ostringstream os;
+            auto start = clock_type::now();
+            sim.writeStatsJson(os);
+            const double su = elapsedUs(start);
+            stats_us = r ? std::min(stats_us, su) : su;
+
+            std::ostringstream ot;
+            start = clock_type::now();
+            sim.tracer()->exportChromeTrace(ot);
+            const double tu = elapsedUs(start);
+            trace_us = r ? std::min(trace_us, tu) : tu;
+        }
+        record("export_stats_json", stats_us);
+        record("export_trace_64k", trace_us);
+    }
+
+    // pdc_hit replica (identical to cache_snapshot's new-side micro)
+    // so BENCH_obs.json and BENCH_cache.json can be cross-checked.
+    {
+        constexpr std::size_t kResident = 4096;
+        std::vector<Lba> lbas(kResident);
+        for (std::size_t i = 0; i < kResident; ++i)
+            lbas[i] = 1 + i * 0x9E3779B97ull;
+        std::vector<std::uint32_t> order(65536);
+        Rng rng(21);
+        for (auto& o : order)
+            o = static_cast<std::uint32_t>(rng.uniformInt(kResident));
+        KeyedLru<Lba> lru;
+        lru.reserve(kResident);
+        for (const Lba l : lbas)
+            lru.touch(l);
+        std::size_t i = 0;
+        double best = 1e300;
+        for (int r = 0; r < kReps; ++r) {
+            double total = 0.0;
+            std::uint64_t calls = 0;
+            while (total < 30000.0) {
+                const auto start = clock_type::now();
+                for (int k = 0; k < 8; ++k)
+                    lru.touch(lbas[order[i++ & 65535]]);
+                total += elapsedUs(start);
+                calls += 8;
+            }
+            best = std::min(best, total / static_cast<double>(calls));
+        }
+        record("pdc_hit", best);
+    }
+
+    std::printf("\noverhead vs serve_disabled:\n");
+    std::printf("  %-22s %+6.2f%%\n", "metrics",
+                100.0 * (metrics / disabled - 1.0));
+    std::printf("  %-22s %+6.2f%%\n", "tracing",
+                100.0 * (tracing / disabled - 1.0));
+
+    std::FILE* f = std::fopen(out_path, "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot open %s for writing\n", out_path);
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"schema\": \"flashcache-bench-obs-v1\",\n");
+    std::fprintf(f, "  \"tracing_compiled\": %s,\n",
+                 FLASHCACHE_TRACING ? "true" : "false");
+    std::fprintf(f, "  \"phases\": {\n");
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+        std::fprintf(f,
+            "    \"%s\": {\"us_per_op\": %.4f, \"ops_per_s\": %.0f}%s\n",
+            phases[i].name.c_str(), phases[i].value,
+            1e6 / phases[i].value, i + 1 < phases.size() ? "," : "");
+    }
+    std::fprintf(f, "  },\n  \"overhead_vs_disabled\": {\n");
+    std::fprintf(f, "    \"metrics\": %.4f,\n", metrics / disabled);
+    std::fprintf(f, "    \"tracing\": %.4f\n", tracing / disabled);
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", out_path);
+    return 0;
+}

@@ -9,13 +9,25 @@
  *   trace_tool gen <workload> <records> <out.csv> [scale]
  *   trace_tool summarize <trace.csv>
  *   trace_tool curve <trace.csv>
+ *   trace_tool run <workload> <requests> [scale]
+ *             [--stats-json FILE] [--trace-out FILE]
+ *             [--trace-events N]
+ *
+ * `run` drives the workload through the full system simulator
+ * (DRAM PDC + flash cache + disk) and prints the gem5-style stats
+ * dump; --stats-json snapshots the metric registry and --trace-out
+ * writes a Chrome trace (open in chrome://tracing or Perfetto).
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <string>
 
+#include "obs/cli.hh"
+#include "obs/trace.hh"
+#include "sim/system_sim.hh"
 #include "workload/macro.hh"
 #include "workload/stack_distance.hh"
 #include "workload/synthetic.hh"
@@ -48,9 +60,13 @@ usage()
                  "[scale]\n"
                  "  trace_tool summarize <trace.csv>\n"
                  "  trace_tool curve <trace.csv>\n"
+                 "  trace_tool run <workload> <requests> [scale] "
+                 "[obs flags]\n"
                  "workloads: uniform alpha1 alpha2 alpha3 exp1 exp2 "
                  "dbt2 SPECWeb99 WebSearch1 WebSearch2 Financial1 "
-                 "Financial2\n");
+                 "Financial2\n"
+                 "obs flags: %s\n",
+                 obs::CliOptions::help());
     return 1;
 }
 
@@ -59,9 +75,38 @@ usage()
 int
 main(int argc, char** argv)
 {
+    const obs::CliOptions obsOpts = obs::CliOptions::parse(argc, argv);
     if (argc < 3)
         return usage();
     const std::string cmd = argv[1];
+
+    if (cmd == "run") {
+        const std::string name = argv[2];
+        const auto requests = argc > 3
+            ? std::strtoull(argv[3], nullptr, 10) : 200000ull;
+        const double scale = argc > 4 ? std::atof(argv[4]) : 0.05;
+        auto gen = makeByName(name, scale);
+        if (!gen) {
+            std::fprintf(stderr, "unknown workload: %s\n", name.c_str());
+            return 1;
+        }
+
+        SystemConfig cfg;
+        cfg.dramBytes = mib(32);
+        cfg.flashBytes = mib(64);
+        cfg.seed = 2026;
+        SystemSimulator sim(cfg);
+        if (obsOpts.wantTrace())
+            sim.enableTracing(obsOpts.traceEvents);
+        sim.run(*gen, requests);
+
+        sim.dumpStats(std::cout);
+        if (obsOpts.wantStats())
+            obs::writeStatsJson(sim.metrics(), obsOpts.statsJson);
+        if (obsOpts.wantTrace())
+            obs::writeTrace(*sim.tracer(), obsOpts.traceOut);
+        return 0;
+    }
 
     if (cmd == "gen") {
         if (argc < 5)

@@ -4,6 +4,8 @@
 #include <cstring>
 
 #include "ecc/crc32.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "util/log.hh"
 
 namespace flashcache {
@@ -14,6 +16,33 @@ FlashMemoryController::FlashMemoryController(FlashDevice& device,
     : device_(&device), timing_(timing), maxEcc_(max_ecc),
       injectRng_(0xC0FFEE)
 {
+}
+
+void
+FlashMemoryController::registerMetrics(obs::MetricRegistry& reg) const
+{
+    reg.counter("controller.reads", "controller page reads",
+                &stats_.reads);
+    reg.counter("controller.writes", "controller page programs",
+                &stats_.writes);
+    reg.counter("controller.erases", "controller block erases",
+                &stats_.erases);
+    reg.counter("ecc.corrected_reads", "reads with corrected errors",
+                &stats_.correctedReads);
+    reg.counter("ecc.uncorrectable_reads",
+                "reads past the code strength",
+                &stats_.uncorrectableReads);
+    reg.counter("ecc.bits_corrected", "total bits corrected",
+                &stats_.bitsCorrected);
+    reg.counter("ecc.busy", "ECC engine busy seconds",
+                &stats_.eccTime);
+    const ControllerStats* st = &stats_;
+    reg.gauge("ecc.corrected_read_rate",
+              "fraction of reads needing correction", [st] {
+                  return st->reads ? static_cast<double>(
+                      st->correctedReads) /
+                      static_cast<double>(st->reads) : 0.0;
+              });
 }
 
 const BchCode&
@@ -36,6 +65,8 @@ FlashMemoryController::readPage(const PageAddress& addr,
     res.rawBitErrors = raw.hardBitErrors;
 
     const Seconds ecc_lat = decodeLatency(desc.eccStrength);
+    FC_LEAF(tracer_, "flash.read", "flash", raw.latency);
+    FC_LEAF(tracer_, "ecc.decode", "ecc", ecc_lat);
     res.latency = raw.latency + ecc_lat;
     stats_.eccTime += ecc_lat;
     ++stats_.reads;
@@ -59,17 +90,21 @@ FlashMemoryController::writePage(const PageAddress& addr,
                                  const PageDescriptor& desc)
 {
     const Seconds enc = timing_.encodeLatency(desc.eccStrength);
-    const Seconds lat = device_->programPage(addr) + enc;
+    const Seconds dev_lat = device_->programPage(addr);
+    FC_LEAF(tracer_, "ecc.encode", "ecc", enc);
+    FC_LEAF(tracer_, "flash.program", "flash", dev_lat);
     stats_.eccTime += enc;
     ++stats_.writes;
-    return lat;
+    return dev_lat + enc;
 }
 
 Seconds
 FlashMemoryController::eraseBlock(std::uint32_t block)
 {
     ++stats_.erases;
-    return device_->eraseBlock(block);
+    const Seconds lat = device_->eraseBlock(block);
+    FC_LEAF(tracer_, "flash.erase", "flash", lat);
+    return lat;
 }
 
 Seconds
@@ -91,11 +126,13 @@ FlashMemoryController::writePageReal(const PageAddress& addr,
     }
 
     const Seconds enc = timing_.encodeLatency(desc.eccStrength);
-    const Seconds lat = device_->programPage(addr, data,
-                                             wspare_.data()) + enc;
+    const Seconds dev_lat = device_->programPage(addr, data,
+                                                 wspare_.data());
+    FC_LEAF(tracer_, "ecc.encode", "ecc", enc);
+    FC_LEAF(tracer_, "flash.program", "flash", dev_lat);
     stats_.eccTime += enc;
     ++stats_.writes;
-    return lat;
+    return dev_lat + enc;
 }
 
 ControllerReadResult
@@ -109,6 +146,8 @@ FlashMemoryController::readPageReal(const PageAddress& addr,
 
     const auto raw = device_->readPage(addr);
     const Seconds ecc_lat = decodeLatency(desc.eccStrength);
+    FC_LEAF(tracer_, "flash.read", "flash", raw.latency);
+    FC_LEAF(tracer_, "ecc.decode", "ecc", ecc_lat);
     res.latency = raw.latency + ecc_lat;
     stats_.eccTime += ecc_lat;
     ++stats_.reads;

@@ -33,6 +33,11 @@
 
 namespace flashcache {
 
+namespace obs {
+class MetricRegistry;
+class Tracer;
+} // namespace obs
+
 /** Per-access control message generated from the FPST (section 5.2). */
 struct PageDescriptor
 {
@@ -128,6 +133,14 @@ class FlashMemoryController
 
     const ControllerStats& stats() const { return stats_; }
 
+    /** Register `controller.*` and `ecc.*` metrics. */
+    void registerMetrics(obs::MetricRegistry& reg) const;
+
+    /** Attach (or detach with nullptr) a request tracer; array and
+     *  ECC latencies then appear as separate leaf events. */
+    void setTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+    obs::Tracer* tracer() const { return tracer_; }
+
     /** Decode latency the pipeline charges at a strength. */
     Seconds
     decodeLatency(unsigned t) const
@@ -142,6 +155,7 @@ class FlashMemoryController
     EccTimingModel timing_;
     unsigned maxEcc_;
     ControllerStats stats_;
+    obs::Tracer* tracer_ = nullptr;
     std::map<unsigned, std::unique_ptr<BchCode>> codes_;
     Rng injectRng_;
 

@@ -5,6 +5,8 @@
 #include <limits>
 #include <sstream>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "util/log.hh"
 #include "util/serialize.hh"
 
@@ -81,6 +83,125 @@ FlashCache::FlashCache(FlashMemoryController& controller,
         (config_.splitRegions && regions_[kWrite].ownedBlocks < 2)) {
         fatal("too many factory bad blocks for a usable cache");
     }
+}
+
+void
+FlashCache::setTracer(obs::Tracer* tracer)
+{
+    tracer_ = tracer;
+    ctrl_->setTracer(tracer);
+}
+
+void
+FlashCache::registerMetrics(obs::MetricRegistry& reg) const
+{
+    const FlashCacheStats* st = &stats_;
+
+    reg.ratio("cache.read", "flash cache reads", &st->fgst.reads);
+    reg.ratio("cache.write", "flash cache write-backs",
+              &st->fgst.writes);
+    reg.gauge("cache.recent_miss_rate", "FGST EWMA miss rate",
+              [st] { return st->fgst.recentMissRate(); });
+    reg.gauge("cache.avg_hit_latency", "FGST t_hit seconds",
+              [st] { return st->fgst.avgHitLatency(); });
+    reg.gauge("cache.avg_miss_penalty", "FGST t_miss seconds",
+              [st] { return st->fgst.avgMissPenalty(); });
+    reg.gauge("cache.marginal_hit_fraction",
+              "recent hits landing on cold pages",
+              [st] { return st->fgst.marginalHitFraction(); });
+
+    reg.gauge("cache.occupancy", "valid fraction of capacity",
+              [this] { return occupancy(); });
+    reg.gauge("cache.occupancy_read_region",
+              "valid fraction of the read region",
+              [this] { return regionOccupancy(kRead); });
+    reg.gauge("cache.occupancy_write_region",
+              "valid fraction of the write region",
+              [this] { return regionOccupancy(kWrite); });
+    reg.gauge("cache.live_blocks", "blocks not yet retired",
+              [this] { return static_cast<double>(liveBlocks()); });
+
+    reg.counter("cache.gc_runs", "garbage collections", &st->gcRuns);
+    reg.counter("cache.gc_copies", "pages relocated by GC",
+                &st->gcPageCopies);
+    reg.counter("cache.gc_erases", "blocks erased by GC",
+                &st->gcErases);
+    reg.counter("cache.gc_time", "GC busy seconds", &st->gcTime);
+    reg.gauge("cache.gc_overhead", "GC share of flash busy time",
+              [this] { return gcOverheadFraction(); });
+    reg.gauge("cache.gc_copies_per_erase",
+              "GC efficiency: relocations per reclaimed block", [st] {
+                  return st->gcErases ? static_cast<double>(
+                      st->gcPageCopies) /
+                      static_cast<double>(st->gcErases) : 0.0;
+              });
+    reg.gauge("cache.write_amplification",
+              "flash programs per host write-back", [this] {
+                  const std::uint64_t host =
+                      stats_.fgst.writes.total();
+                  return host ? static_cast<double>(
+                      ctrl_->stats().writes) /
+                      static_cast<double>(host) : 0.0;
+              });
+
+    reg.counter("cache.evictions", "block evictions",
+                &st->evictions);
+    reg.counter("cache.eviction_flushes",
+                "dirty pages flushed to disk", &st->evictionFlushes);
+    reg.counter("cache.eviction_time", "eviction busy seconds",
+                &st->evictionTime);
+    reg.counter("cache.wear_migrations",
+                "section 3.6 newest-block swaps",
+                &st->wearMigrations);
+    reg.counter("cache.ecc_reconfigs", "ECC strength increases",
+                &st->eccReconfigs);
+    reg.counter("cache.density_reconfigs", "MLC->SLC switches",
+                &st->densityReconfigs);
+    reg.counter("cache.policy_ecc_choices",
+                "section 5.2.1 policy picks: stronger ECC",
+                &st->policyEccChoices);
+    reg.counter("cache.policy_density_choices",
+                "section 5.2.1 policy picks: density switch",
+                &st->policyDensityChoices);
+    reg.counter("cache.hot_migrations", "read-hot SLC migrations",
+                &st->hotMigrations);
+    reg.counter("cache.retired_blocks", "blocks retired",
+                &st->retiredBlocks);
+    reg.counter("cache.uncorrectable", "uncorrectable reads",
+                &st->uncorrectableReads);
+    reg.counter("cache.data_loss_pages", "dirty pages lost to wear",
+                &st->dataLossPages);
+    reg.counter("cache.ecc_retry_reads",
+                "transient-error re-reads", &st->eccRetryReads);
+    reg.gauge("cache.ecc_retry_rate",
+              "re-reads per flash cache read", [this] {
+                  const std::uint64_t n = stats_.fgst.reads.total();
+                  return n ? static_cast<double>(
+                      stats_.eccRetryReads) /
+                      static_cast<double>(n) : 0.0;
+              });
+    reg.gauge("cache.reconfig_rate",
+              "ECC + density reconfigs per flash cache read", [this] {
+                  const std::uint64_t n = stats_.fgst.reads.total();
+                  return n ? static_cast<double>(
+                      stats_.eccReconfigs + stats_.densityReconfigs) /
+                      static_cast<double>(n) : 0.0;
+              });
+    reg.counter("cache.reconfig_time",
+                "density/hot migration copy seconds",
+                &st->reconfigTime);
+    reg.counter("cache.busy", "flash busy seconds incl. GC",
+                &st->flashBusyTime);
+}
+
+double
+FlashCache::regionOccupancy(int region) const
+{
+    const Region& reg = regions_[region];
+    const double slots = static_cast<double>(reg.ownedBlocks) *
+        framesPerBlock_ * 2;
+    return slots > 0.0
+        ? static_cast<double>(reg.validCount) / slots : 0.0;
 }
 
 int
@@ -385,6 +506,8 @@ FlashCache::readWithRetry(const PageAddress& addr,
         ctrl_->device().hardErrors(addr) <= desc.eccStrength) {
         // Transient flips pushed the word past the code strength;
         // the driver re-reads before giving the page up.
+        ++stats_.eccRetryReads;
+        FC_INSTANT(tracer_, "ecc.retry", "ecc");
         const ControllerReadResult retry = out
             ? ctrl_->readPageReal(addr, desc, out)
             : ctrl_->readPage(addr, desc);
@@ -467,6 +590,7 @@ FlashCache::garbageCollect(int region)
     if (config_.wearLeveling && tryWearSwap(victim))
         return true;
 
+    FC_SPAN(tracer_, "cache.gc", "gc");
     ++stats_.gcRuns;
     // Relocate every valid page, then erase.
     for (std::uint16_t f = 0; f < framesPerBlock_; ++f) {
@@ -521,6 +645,7 @@ FlashCache::evictBlock(int region)
     if (config_.wearLeveling && tryWearSwap(victim))
         return true;
 
+    FC_SPAN(tracer_, "cache.evict", "cache");
     ++stats_.evictions;
     lruErase(reg, victim);
     reclaimBlock(victim, true, stats_.evictionTime);
@@ -569,6 +694,7 @@ FlashCache::wearLevelSwap(std::uint32_t victim, std::uint32_t newest)
     Region& vreg = regions_[victim_region];
     Region& nreg = regions_[newest_region];
 
+    FC_SPAN(tracer_, "cache.wear_swap", "cache");
     ++stats_.evictions;
     ++stats_.wearMigrations;
 
@@ -618,9 +744,11 @@ FlashCache::wearLevelSwap(std::uint32_t victim, std::uint32_t newest)
                     if (e.dirty)
                         ++stats_.dataLossPages;
                 } else if (e.dirty) {
-                    stats_.evictionTime += config_.realData
+                    const Seconds flat = config_.realData
                         ? payloadStore_->writeData(e.lba, buf)
                         : store_->write(e.lba);
+                    FC_LEAF(tracer_, "disk.flush", "disk", flat);
+                    stats_.evictionTime += flat;
                     ++stats_.evictionFlushes;
                 }
                 invalidatePage(id, true);
@@ -802,6 +930,7 @@ FlashCache::readData(Lba lba, std::uint8_t* data)
 CacheAccessResult
 FlashCache::readImpl(Lba lba, std::uint8_t* data)
 {
+    FC_SPAN(tracer_, "cache.read", "cache");
     maybeAge();
     ++windowReads_;
 
@@ -869,8 +998,10 @@ FlashCache::readImpl(Lba lba, std::uint8_t* data)
 
     // Miss path: fetch from disk and fill the read region.
     stats_.fgst.recordRead(false);
+    FC_INSTANT(tracer_, "cache.miss", "cache");
     const Seconds penalty = data ? payloadStore_->readData(lba, data)
                                  : store_->read(lba);
+    FC_LEAF(tracer_, "disk.fill", "disk", penalty);
     stats_.fgst.missPenalty.add(penalty);
     out.latency += penalty;
 
@@ -932,6 +1063,7 @@ FlashCache::writeData(Lba lba, const std::uint8_t* data)
 CacheAccessResult
 FlashCache::writeImpl(Lba lba, const std::uint8_t* data)
 {
+    FC_SPAN(tracer_, "cache.write", "cache");
     CacheAccessResult out;
     const int wr = config_.splitRegions ? kWrite : kRead;
 
@@ -1001,9 +1133,11 @@ FlashCache::flushPage(std::uint64_t id, Seconds& time_sink)
         ++stats_.dataLossPages;
         return false;
     }
-    time_sink += config_.realData
+    const Seconds wlat = config_.realData
         ? payloadStore_->writeData(e.lba, buf)
         : store_->write(e.lba);
+    FC_LEAF(tracer_, "disk.flush", "disk", wlat);
+    time_sink += wlat;
     ++stats_.evictionFlushes;
     return true;
 }

@@ -44,6 +44,11 @@
 
 namespace flashcache {
 
+namespace obs {
+class MetricRegistry;
+class Tracer;
+} // namespace obs
+
 /** Tuning knobs; defaults follow the paper. */
 struct FlashCacheConfig
 {
@@ -146,6 +151,9 @@ struct FlashCacheStats
     std::uint64_t uncorrectableReads = 0;
     std::uint64_t dataLossPages = 0;
 
+    /** Transient-error re-reads the driver issued (section 4.1). */
+    std::uint64_t eccRetryReads = 0;
+
     /// @name Diagnostics for the reconfiguration policy: the access
     /// frequency of faulting pages and the two heuristic costs.
     /// @{
@@ -193,6 +201,16 @@ class FlashCache
     const FlashCacheConfig& config() const { return config_; }
     const Fcht& fcht() const { return fcht_; }
 
+    /** Register every `cache.*` metric, including the derived write
+     *  amplification / GC efficiency / occupancy gauges. */
+    void registerMetrics(obs::MetricRegistry& reg) const;
+
+    /** Attach (or detach with nullptr) a request tracer; propagates
+     *  to the memory controller so array/ECC leaves line up under
+     *  the cache-level spans. */
+    void setTracer(obs::Tracer* tracer);
+    obs::Tracer* tracer() const { return tracer_; }
+
     /** Total logical page slots at current density modes. */
     std::uint64_t capacityPages() const;
 
@@ -201,6 +219,10 @@ class FlashCache
 
     /** Valid fraction of total capacity. */
     double occupancy() const;
+
+    /** Valid fraction of one region's nominal page slots (0 = read
+     *  region, 1 = write region; 0 when the region owns no blocks). */
+    double regionOccupancy(int region) const;
 
     /** Blocks not yet retired. */
     std::uint32_t liveBlocks() const;
@@ -430,6 +452,7 @@ class FlashCache
     std::vector<std::uint8_t> pageBuf_;
 
     FlashCacheStats stats_;
+    obs::Tracer* tracer_ = nullptr;
     std::uint64_t readsSinceAging_ = 0;
     std::uint64_t windowReads_ = 0;
 };

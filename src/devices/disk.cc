@@ -1,10 +1,19 @@
 #include "devices/disk.hh"
 
+#include "obs/metrics.hh"
+
 namespace flashcache {
 
 DiskModel::DiskModel(const DiskSpec& spec, std::uint64_t seed)
     : spec_(spec), rng_(seed)
 {
+}
+
+void
+DiskModel::registerMetrics(obs::MetricRegistry& reg) const
+{
+    reg.counter("disk.accesses", "disk accesses", &accesses_);
+    reg.counter("disk.busy", "disk busy seconds", &busy_);
 }
 
 Seconds

@@ -20,6 +20,10 @@
 
 namespace flashcache {
 
+namespace obs {
+class MetricRegistry;
+} // namespace obs
+
 /**
  * Average-latency disk with busy-time power accounting.
  */
@@ -41,6 +45,9 @@ class DiskModel
 
     std::uint64_t accesses() const { return accesses_; }
     Seconds busyTime() const { return busy_; }
+
+    /** Register `disk.*` metrics. */
+    void registerMetrics(obs::MetricRegistry& reg) const;
 
     /** Energy across a wall-clock span: busy active + rest idle. */
     Joules energyOver(Seconds wall_clock) const;

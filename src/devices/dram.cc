@@ -1,5 +1,6 @@
 #include "devices/dram.hh"
 
+#include "obs/metrics.hh"
 #include "util/log.hh"
 
 namespace flashcache {
@@ -11,6 +12,15 @@ DramModel::DramModel(std::uint64_t capacity_bytes, const DramSpec& spec)
         fatal("DramModel with zero capacity");
     devices_ = static_cast<unsigned>(
         (capacity_bytes + spec.deviceBytes - 1) / spec.deviceBytes);
+}
+
+void
+DramModel::registerMetrics(obs::MetricRegistry& reg) const
+{
+    reg.counter("dram.read_busy", "DRAM read busy seconds",
+                &readBusy_);
+    reg.counter("dram.write_busy", "DRAM write busy seconds",
+                &writeBusy_);
 }
 
 Seconds

@@ -19,6 +19,10 @@
 
 namespace flashcache {
 
+namespace obs {
+class MetricRegistry;
+} // namespace obs
+
 /** Energy breakdown over a wall-clock interval. */
 struct DramEnergy
 {
@@ -55,6 +59,9 @@ class DramModel
 
     Seconds readBusyTime() const { return readBusy_; }
     Seconds writeBusyTime() const { return writeBusy_; }
+
+    /** Register `dram.*` metrics. */
+    void registerMetrics(obs::MetricRegistry& reg) const;
 
     /**
      * Energy breakdown across a wall-clock interval; idle uses the

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "obs/metrics.hh"
 #include "reliability/page_health.hh"
 #include "util/log.hh"
 #include "util/serialize.hh"
@@ -45,6 +46,19 @@ bool
 FlashDevice::isFactoryBad(std::uint32_t block) const
 {
     return factoryBad_.at(block);
+}
+
+void
+FlashDevice::registerMetrics(obs::MetricRegistry& reg) const
+{
+    reg.counter("flash.reads", "raw page reads", &stats_.reads);
+    reg.counter("flash.programs", "raw page programs",
+                &stats_.programs);
+    reg.counter("flash.erases", "raw block erases", &stats_.erases);
+    reg.counter("flash.busy", "flash array busy seconds",
+                &stats_.busyTime);
+    reg.counter("flash.active_energy", "active energy (J)",
+                &stats_.activeEnergy);
 }
 
 FlashDevice::FrameState&

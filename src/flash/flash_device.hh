@@ -27,6 +27,10 @@
 
 namespace flashcache {
 
+namespace obs {
+class MetricRegistry;
+} // namespace obs
+
 /** View of a stored page payload (data + spare, contiguous). */
 struct PageBytes
 {
@@ -148,6 +152,9 @@ class FlashDevice
     PageBytes pageData(const PageAddress& addr) const;
 
     const FlashOpStats& stats() const { return stats_; }
+
+    /** Register `flash.*` array-level metrics. */
+    void registerMetrics(obs::MetricRegistry& reg) const;
 
     /** Total energy over a wall-clock interval: active + idle. */
     Joules

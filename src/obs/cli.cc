@@ -1,0 +1,83 @@
+#include "obs/cli.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <string_view>
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "util/log.hh"
+
+namespace flashcache {
+namespace obs {
+
+CliOptions
+CliOptions::parse(int& argc, char** argv)
+{
+    CliOptions opts;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        const auto takeValue = [&](const char* flag) -> const char* {
+            if (i + 1 >= argc)
+                fatal(std::string(flag) + " requires a value");
+            return argv[++i];
+        };
+        if (arg == "--stats-json") {
+            opts.statsJson = takeValue("--stats-json");
+        } else if (arg == "--trace-out") {
+            opts.traceOut = takeValue("--trace-out");
+        } else if (arg == "--trace-events") {
+            opts.traceEvents = static_cast<std::size_t>(
+                std::strtoull(takeValue("--trace-events"), nullptr, 10));
+            if (opts.traceEvents == 0)
+                fatal("--trace-events must be positive");
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+    return opts;
+}
+
+const char*
+CliOptions::help()
+{
+    return "  --stats-json FILE    write a JSON metrics snapshot\n"
+           "  --trace-out FILE     write a Chrome trace-event JSON\n"
+           "  --trace-events N     trace ring capacity (default 65536)\n";
+}
+
+namespace {
+
+std::ofstream
+openOut(const std::string& path)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open '" + path + "' for writing");
+    return os;
+}
+
+} // namespace
+
+void
+writeStatsJson(const MetricRegistry& reg, const std::string& path)
+{
+    std::ofstream os = openOut(path);
+    reg.toJson(os);
+    if (!os)
+        fatal("error writing '" + path + "'");
+}
+
+void
+writeTrace(const Tracer& tracer, const std::string& path)
+{
+    std::ofstream os = openOut(path);
+    tracer.exportChromeTrace(os);
+    if (!os)
+        fatal("error writing '" + path + "'");
+}
+
+} // namespace obs
+} // namespace flashcache

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Shared command-line plumbing for the observability exporters so
+ * trace_tool and every bench expose the same `--stats-json FILE` /
+ * `--trace-out FILE` flags without duplicating the parsing.
+ */
+
+#ifndef FLASHCACHE_OBS_CLI_HH
+#define FLASHCACHE_OBS_CLI_HH
+
+#include <cstddef>
+#include <string>
+
+namespace flashcache {
+namespace obs {
+
+class MetricRegistry;
+class Tracer;
+
+/** Observability flags recognised by every tool. */
+struct CliOptions
+{
+    std::string statsJson; ///< --stats-json FILE (empty = off)
+    std::string traceOut;  ///< --trace-out FILE (empty = off)
+    std::size_t traceEvents = 1u << 16; ///< --trace-events N
+
+    bool wantStats() const { return !statsJson.empty(); }
+    bool wantTrace() const { return !traceOut.empty(); }
+
+    /**
+     * Extract the flags above from argv, compacting it in place so
+     * the caller's own argument handling never sees them. fatal()s
+     * on a flag with a missing value.
+     */
+    static CliOptions parse(int& argc, char** argv);
+
+    /** One-line usage text for tools' --help output. */
+    static const char* help();
+};
+
+/** Write the registry snapshot to `path` (fatal on I/O failure). */
+void writeStatsJson(const MetricRegistry& reg, const std::string& path);
+
+/** Write the Chrome trace to `path` (fatal on I/O failure). */
+void writeTrace(const Tracer& tracer, const std::string& path);
+
+} // namespace obs
+} // namespace flashcache
+
+#endif // FLASHCACHE_OBS_CLI_HH

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Minimal JSON support for the observability exporters: a streaming
+ * writer with deterministic member order (insertion order — the
+ * stats schema promises stable key order) and a small recursive-
+ * descent parser used by the golden tests, the bench cross-checks
+ * and the trace validation.
+ *
+ * Deliberately tiny: objects preserve insertion order, numbers are
+ * doubles, no unicode escapes beyond pass-through. Good enough to
+ * round-trip everything this repository emits; not a general JSON
+ * library.
+ */
+
+#ifndef FLASHCACHE_OBS_JSON_HH
+#define FLASHCACHE_OBS_JSON_HH
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace flashcache {
+namespace obs {
+
+/**
+ * Streaming JSON writer. Members appear exactly in emission order,
+ * which is what makes the exported schemas stable. Misuse (a value
+ * with no pending key inside an object, unbalanced end calls) is a
+ * programming error and panics.
+ */
+class JsonWriter
+{
+  public:
+    /** @param indent Spaces per nesting level; 0 = compact. */
+    explicit JsonWriter(std::ostream& os, int indent = 2);
+
+    /** The writer must be balanced (all scopes closed) when done. */
+    ~JsonWriter();
+
+    JsonWriter(const JsonWriter&) = delete;
+    JsonWriter& operator=(const JsonWriter&) = delete;
+
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Emit the member key for the next value (objects only). */
+    void key(std::string_view k);
+
+    void value(double v);
+    void value(std::uint64_t v);
+    void value(std::int64_t v);
+    void value(int v) { value(static_cast<std::int64_t>(v)); }
+    void value(bool v);
+    void value(std::string_view v);
+    void value(const char* v) { value(std::string_view(v)); }
+    void nullValue();
+
+    /// @name One-call members: key + value.
+    /// @{
+    template <typename T>
+    void
+    member(std::string_view k, T v)
+    {
+        key(k);
+        value(v);
+    }
+    /// @}
+
+  private:
+    enum class Scope : std::uint8_t { Object, Array };
+
+    /** Comma/newline bookkeeping before any value or key. */
+    void preValue();
+    void newlineIndent();
+    void writeEscaped(std::string_view s);
+
+    std::ostream* os_;
+    int indent_;
+    std::vector<Scope> stack_;
+    bool firstInScope_ = true;
+    bool keyPending_ = false;
+};
+
+/**
+ * Parsed JSON value. Object members keep source order so key-order
+ * assertions are possible.
+ */
+struct JsonValue
+{
+    enum class Type : std::uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    bool isNull() const { return type == Type::Null; }
+    bool isNumber() const { return type == Type::Number; }
+    bool isObject() const { return type == Type::Object; }
+    bool isArray() const { return type == Type::Array; }
+    bool isString() const { return type == Type::String; }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue* find(std::string_view key) const;
+
+    /** Member keys in source order (empty unless an object). */
+    std::vector<std::string> keys() const;
+};
+
+/**
+ * Parse a complete JSON document (trailing whitespace allowed,
+ * trailing garbage rejected).
+ *
+ * @param text  The document.
+ * @param error Optional; receives a short description on failure.
+ * @return The value, or nullopt on malformed input.
+ */
+std::optional<JsonValue> parseJson(std::string_view text,
+                                   std::string* error = nullptr);
+
+} // namespace obs
+} // namespace flashcache
+
+#endif // FLASHCACHE_OBS_JSON_HH

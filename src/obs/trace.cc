@@ -1,0 +1,77 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+
+#include "obs/json.hh"
+
+namespace flashcache {
+namespace obs {
+
+Tracer::Tracer(std::size_t capacity)
+    : ring_(capacity ? capacity : 1)
+{
+}
+
+void
+Tracer::clear()
+{
+    head_ = 0;
+    count_ = 0;
+    dropped_ = 0;
+}
+
+std::vector<TraceEvent>
+Tracer::events() const
+{
+    std::vector<TraceEvent> out;
+    out.reserve(count_);
+    // Oldest event sits at head_ once the ring has wrapped.
+    const std::size_t first =
+        count_ == ring_.size() ? head_ : 0;
+    for (std::size_t i = 0; i < count_; ++i)
+        out.push_back(ring_[(first + i) % ring_.size()]);
+    return out;
+}
+
+void
+Tracer::exportChromeTrace(std::ostream& os) const
+{
+    std::vector<TraceEvent> evs = events();
+    // Spans are recorded at close, so children precede their parents
+    // in the ring; trace viewers want begin-time order.
+    std::stable_sort(evs.begin(), evs.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                         if (a.start != b.start)
+                             return a.start < b.start;
+                         if (a.depth != b.depth)
+                             return a.depth < b.depth;
+                         return a.seq < b.seq;
+                     });
+
+    JsonWriter w(os, 0);
+    w.beginObject();
+    w.member("displayTimeUnit", "ms");
+    w.key("traceEvents");
+    w.beginArray();
+    for (const TraceEvent& e : evs) {
+        w.beginObject();
+        w.member("name", e.name);
+        w.member("cat", e.cat);
+        w.member("ph", "X");
+        w.member("ts", e.start * 1e6);
+        w.member("dur", e.dur * 1e6);
+        w.member("pid", 0);
+        w.member("tid", 0);
+        w.key("args");
+        w.beginObject();
+        w.member("depth", static_cast<std::int64_t>(e.depth));
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << '\n';
+}
+
+} // namespace obs
+} // namespace flashcache

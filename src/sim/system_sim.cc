@@ -1,9 +1,9 @@
 #include "sim/system_sim.hh"
 
 #include <algorithm>
-#include <iomanip>
 #include <ostream>
 
+#include "obs/trace.hh"
 #include "util/log.hh"
 
 namespace flashcache {
@@ -74,9 +74,61 @@ SystemSimulator::SystemSimulator(const SystemConfig& config)
         cache_ = std::make_unique<FlashCache>(*controller_, *diskStore_,
                                               fc);
     }
+
+    registerAllMetrics();
 }
 
 SystemSimulator::~SystemSimulator() = default;
+
+void
+SystemSimulator::registerAllMetrics()
+{
+    registry_.counter("system.requests", "requests served",
+                      &stats_.requests);
+    registry_.counter("system.wall_clock", "simulated seconds",
+                      &stats_.wallClock);
+    registry_.gauge("system.throughput", "requests per second",
+                    [this] { return stats_.throughput(); });
+    registry_.histogram("system.request_latency",
+                        "per-request latency (s)",
+                        &stats_.requestLatency);
+
+    registry_.ratio("pdc.read", "primary disk cache reads",
+                    &stats_.pdcReads);
+    registry_.counter("pdc.writebacks",
+                      "dirty pages written below the PDC",
+                      &stats_.writebacks);
+
+    dram_.registerMetrics(registry_);
+    disk_.registerMetrics(registry_);
+
+    if (cache_) {
+        flash_->registerMetrics(registry_);
+        cache_->registerMetrics(registry_);
+        controller_->registerMetrics(registry_);
+    }
+
+    registry_.gauge("power.mem_read", "W",
+                    [this] { return powerReport().memRead; });
+    registry_.gauge("power.mem_write", "W",
+                    [this] { return powerReport().memWrite; });
+    registry_.gauge("power.mem_idle", "W",
+                    [this] { return powerReport().memIdle; });
+    registry_.gauge("power.flash", "W",
+                    [this] { return powerReport().flash; });
+    registry_.gauge("power.disk", "W",
+                    [this] { return powerReport().disk; });
+    registry_.gauge("power.total", "W",
+                    [this] { return powerReport().total(); });
+}
+
+void
+SystemSimulator::enableTracing(std::size_t capacity)
+{
+    tracer_ = std::make_unique<obs::Tracer>(capacity);
+    if (cache_)
+        cache_->setTracer(tracer_.get());
+}
 
 Seconds
 SystemSimulator::readBelow(Lba lba)
@@ -110,7 +162,9 @@ SystemSimulator::evictPdcPage()
 Seconds
 SystemSimulator::serve(const TraceRecord& r)
 {
+    FC_SPAN(tracer_.get(), "request", "sim");
     const Seconds compute = rng_.exponential(1.0 / config_.computeTime);
+    FC_LEAF(tracer_.get(), "cpu.compute", "cpu", compute);
     computeTotal_ += compute;
     Seconds storage = 0.0;
 
@@ -118,17 +172,23 @@ SystemSimulator::serve(const TraceRecord& r)
         if (pdcLru_.contains(r.lba)) {
             pdcLru_.touch(r.lba);
             storage = dram_.read(config_.pageBytes);
+            FC_LEAF(tracer_.get(), "dram.read", "dram", storage);
             stats_.pdcReads.hit();
         } else {
             stats_.pdcReads.miss();
+            FC_INSTANT(tracer_.get(), "pdc.miss", "pdc");
             while (pdcLru_.size() >= pdcCapacityPages_)
                 evictPdcPage();
-            storage = readBelow(r.lba) + dram_.write(config_.pageBytes);
+            const Seconds below = readBelow(r.lba);
+            const Seconds fill = dram_.write(config_.pageBytes);
+            FC_LEAF(tracer_.get(), "dram.write", "dram", fill);
+            storage = below + fill;
             pdcLru_.touch(r.lba);
         }
     } else {
         // Writes complete at DRAM speed; dirty data drains later.
         storage = dram_.write(config_.pageBytes);
+        FC_LEAF(tracer_.get(), "dram.write", "dram", storage);
         if (!pdcLru_.contains(r.lba)) {
             while (pdcLru_.size() >= pdcCapacityPages_)
                 evictPdcPage();
@@ -148,6 +208,7 @@ SystemSimulator::serve(const TraceRecord& r)
     }
 
     latencyTotal_ += storage;
+    stats_.requestLatency.add(compute + storage);
     return compute + storage;
 }
 
@@ -209,79 +270,16 @@ SystemSimulator::powerReport() const
 
 
 void
+SystemSimulator::writeStatsJson(std::ostream& os) const
+{
+    registry_.toJson(os);
+}
+
+void
 SystemSimulator::dumpStats(std::ostream& os) const
 {
-    auto line = [&os](const char* name, double value, const char* desc) {
-        os << std::left << std::setw(36) << name << std::setw(18)
-           << value << "# " << desc << "\n";
-    };
-
     os << "---------- flashcache stats dump ----------\n";
-    line("sim.requests", static_cast<double>(stats_.requests),
-         "requests served");
-    line("sim.wall_clock", stats_.wallClock, "simulated seconds");
-    line("sim.throughput", stats_.throughput(), "requests per second");
-    line("pdc.read_hit_rate", stats_.pdcReads.hitRate(),
-         "primary disk cache read hit rate");
-    line("pdc.writebacks", static_cast<double>(stats_.writebacks),
-         "dirty pages written below the PDC");
-    line("dram.read_busy", dram_.readBusyTime(), "DRAM read busy s");
-    line("dram.write_busy", dram_.writeBusyTime(), "DRAM write busy s");
-    line("disk.accesses", static_cast<double>(disk_.accesses()),
-         "disk accesses");
-    line("disk.busy", disk_.busyTime(), "disk busy seconds");
-
-    if (cache_) {
-        const FlashCacheStats& st = cache_->stats();
-        line("flash.read_hit_rate", st.fgst.reads.hitRate(),
-             "flash cache read hit rate");
-        line("flash.recent_miss_rate", st.fgst.recentMissRate(),
-             "FGST EWMA miss rate");
-        line("flash.avg_hit_latency", st.fgst.avgHitLatency(),
-             "FGST t_hit seconds");
-        line("flash.occupancy", cache_->occupancy(),
-             "valid fraction of capacity");
-        line("flash.gc_runs", static_cast<double>(st.gcRuns),
-             "garbage collections");
-        line("flash.gc_copies", static_cast<double>(st.gcPageCopies),
-             "pages relocated by GC");
-        line("flash.evictions", static_cast<double>(st.evictions),
-             "block evictions");
-        line("flash.wear_migrations",
-             static_cast<double>(st.wearMigrations),
-             "section 3.6 newest-block swaps");
-        line("flash.ecc_reconfigs",
-             static_cast<double>(st.eccReconfigs),
-             "ECC strength increases");
-        line("flash.density_reconfigs",
-             static_cast<double>(st.densityReconfigs),
-             "MLC->SLC switches");
-        line("flash.hot_migrations",
-             static_cast<double>(st.hotMigrations),
-             "read-hot SLC migrations");
-        line("flash.retired_blocks",
-             static_cast<double>(st.retiredBlocks), "blocks retired");
-        line("flash.uncorrectable",
-             static_cast<double>(st.uncorrectableReads),
-             "uncorrectable reads");
-        line("flash.data_loss_pages",
-             static_cast<double>(st.dataLossPages),
-             "dirty pages lost to wear");
-        line("flash.busy", st.flashBusyTime, "flash busy seconds");
-        line("ctrl.ecc_busy", controller_->stats().eccTime,
-             "ECC engine busy seconds");
-        line("ctrl.bits_corrected",
-             static_cast<double>(controller_->stats().bitsCorrected),
-             "total bits corrected");
-    }
-
-    const PowerReport p = powerReport();
-    line("power.mem_read", p.memRead, "W");
-    line("power.mem_write", p.memWrite, "W");
-    line("power.mem_idle", p.memIdle, "W");
-    line("power.flash", p.flash, "W");
-    line("power.disk", p.disk, "W");
-    line("power.total", p.total(), "W");
+    registry_.dumpText(os);
     os << "--------------------------------------------\n";
 }
 

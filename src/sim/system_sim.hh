@@ -27,10 +27,16 @@
 #include "core/lru.hh"
 #include "devices/disk.hh"
 #include "devices/dram.hh"
+#include "obs/metrics.hh"
 #include "sim/power_report.hh"
+#include "util/stats.hh"
 #include "workload/synthetic.hh"
 
 namespace flashcache {
+
+namespace obs {
+class Tracer;
+} // namespace obs
 
 /** System configuration (Table 3 defaults). */
 struct SystemConfig
@@ -84,6 +90,9 @@ struct SystemStats
     RatioStat pdcReads;   ///< PDC hit/miss on reads
     std::uint64_t writebacks = 0;
 
+    /** Per-request latency (compute + storage), 0.5 ms bins. */
+    Histogram requestLatency{0.0, 0.020, 40};
+
     /** Requests per second of wall clock. */
     double
     throughput() const
@@ -114,8 +123,27 @@ class SystemSimulator
     /** Figure 9 power breakdown over the run's wall-clock. */
     PowerReport powerReport() const;
 
+    /** Every metric of the whole stack, registered at construction
+     *  in export order. */
+    const obs::MetricRegistry& metrics() const { return registry_; }
+
+    /**
+     * Attach a request-lifecycle tracer (ring of `capacity` events
+     * on the simulated clock); spans cover requests, cache
+     * accesses, GC and evictions, with flash/ECC/disk/DRAM leaves.
+     * Call before run(); replaces any previous tracer.
+     */
+    void enableTracing(std::size_t capacity = 1u << 16);
+
+    /** The attached tracer, or nullptr when tracing is off. */
+    obs::Tracer* tracer() const { return tracer_.get(); }
+
+    /** JSON snapshot of every registered metric (stable schema). */
+    void writeStatsJson(std::ostream& os) const;
+
     /** Dump every counter of the whole stack in gem5-style
-     *  "name  value  # description" lines. */
+     *  "name  value  # description" lines (rendered from the
+     *  registry, so the text and JSON exports always agree). */
     void dumpStats(std::ostream& os) const;
 
     /** Present when flashBytes > 0. */
@@ -142,6 +170,9 @@ class SystemSimulator
     /** Close out a run: compute the closed-loop wall clock. */
     void finishRun();
 
+    /** Register every layer's metrics into registry_. */
+    void registerAllMetrics();
+
     SystemConfig config_;
     DramModel dram_;
     DiskModel disk_;
@@ -165,6 +196,8 @@ class SystemSimulator
     std::unique_ptr<FlashCache> cache_;
 
     SystemStats stats_;
+    obs::MetricRegistry registry_;
+    std::unique_ptr<obs::Tracer> tracer_;
     /** Busy time the disk accumulated, for wall-clock bounding. */
     Seconds computeTotal_ = 0.0;
     Seconds latencyTotal_ = 0.0;

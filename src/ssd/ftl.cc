@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hh"
 #include "util/log.hh"
 
 namespace flashcache {
@@ -45,6 +46,32 @@ FlashTranslationLayer::mappingTableBytes() const
     // One 8-byte entry per logical page, always resident (plus the
     // reverse map kept on-device in real designs).
     return logicalPages_ * sizeof(std::uint64_t);
+}
+
+void
+FlashTranslationLayer::registerMetrics(obs::MetricRegistry& reg) const
+{
+    reg.counter("ftl.reads", "logical page reads", &stats_.reads);
+    reg.counter("ftl.writes", "logical page writes", &stats_.writes);
+    reg.counter("ftl.gc_runs", "garbage collections", &stats_.gcRuns);
+    reg.counter("ftl.gc_copies", "pages relocated by GC",
+                &stats_.gcPageCopies);
+    reg.counter("ftl.gc_erases", "blocks erased by GC",
+                &stats_.gcErases);
+    reg.counter("ftl.gc_time", "GC busy seconds", &stats_.gcTime);
+    reg.counter("ftl.busy", "FTL busy seconds", &stats_.busyTime);
+    reg.counter("ftl.uncorrectable", "uncorrectable reads",
+                &stats_.uncorrectableReads);
+    const FtlStats* st = &stats_;
+    reg.gauge("ftl.gc_overhead",
+              "GC time relative to useful time (Figure 1(b))",
+              [st] { return st->gcOverheadFraction(); });
+    reg.gauge("ftl.write_amplification",
+              "flash programs per host write", [st] {
+                  return st->writes ? static_cast<double>(
+                      st->writes + st->gcPageCopies) /
+                      static_cast<double>(st->writes) : 0.0;
+              });
 }
 
 Seconds

@@ -29,6 +29,10 @@
 
 namespace flashcache {
 
+namespace obs {
+class MetricRegistry;
+} // namespace obs
+
 /** FTL statistics. */
 struct FtlStats
 {
@@ -88,6 +92,9 @@ class FlashTranslationLayer
     Seconds write(Lba lba);
 
     const FtlStats& stats() const { return stats_; }
+
+    /** Register `ftl.*` metrics (incl. write amplification). */
+    void registerMetrics(obs::MetricRegistry& reg) const;
 
     /**
      * DRAM bytes the mapping table needs — the section 2.2 metadata

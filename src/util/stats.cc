@@ -98,9 +98,9 @@ Histogram::percentile(double p) const
     for (std::size_t i = 0; i < counts_.size(); ++i) {
         cum += static_cast<double>(counts_[i]);
         if (cum >= target)
-            return binLo(static_cast<double>(i) + 1.0);
+            return binLo(i + 1);
     }
-    return binLo(static_cast<double>(counts_.size()));
+    return binLo(counts_.size());
 }
 
 std::string
@@ -110,8 +110,7 @@ Histogram::toString() const
     for (std::size_t i = 0; i < counts_.size(); ++i) {
         if (!counts_[i])
             continue;
-        os << binLo(static_cast<double>(i)) << ".."
-           << binLo(static_cast<double>(i) + 1.0) << ": "
+        os << binLo(i) << ".." << binLo(i + 1) << ": "
            << counts_[i] << "\n";
     }
     return os.str();

@@ -88,8 +88,12 @@ class Histogram
     std::size_t bins() const { return counts_.size(); }
     std::uint64_t binCount(std::size_t i) const { return counts_.at(i); }
 
-    /** Lower edge of bin i. */
-    double binLo(double i) const { return lo_ + i * width_; }
+    /** Lower edge of bin i (i == bins() gives the upper range edge). */
+    double
+    binLo(std::size_t i) const
+    {
+        return lo_ + static_cast<double>(i) * width_;
+    }
 
     std::uint64_t total() const { return total_; }
 

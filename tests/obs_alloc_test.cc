@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Steady-state allocation guarantee of the tracer ring: once the
+ * Tracer is constructed, recording spans, leaves and instants —
+ * including after the ring wraps — performs zero heap allocations
+ * (global operator new/delete are replaced with counting versions,
+ * as in allocation_test.cc).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <new>
+
+#include "obs/trace.hh"
+
+// ---------------------------------------------------------------------
+// Counting allocator overrides (global scope, required by [new.delete]).
+// The replacement new uses malloc and the replacement delete frees it;
+// GCC cannot see the pairing across the replacement boundary, so the
+// mismatch warning is a false positive here.
+// ---------------------------------------------------------------------
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+namespace {
+std::uint64_t g_allocCount = 0;
+} // namespace
+
+void*
+operator new(std::size_t n)
+{
+    ++g_allocCount;
+    if (void* p = std::malloc(n ? n : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void*
+operator new[](std::size_t n)
+{
+    return operator new(n);
+}
+
+void*
+operator new(std::size_t n, const std::nothrow_t&) noexcept
+{
+    ++g_allocCount;
+    return std::malloc(n ? n : 1);
+}
+
+void*
+operator new[](std::size_t n, const std::nothrow_t& t) noexcept
+{
+    return operator new(n, t);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void
+operator delete(void* p, const std::nothrow_t&) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void* p, const std::nothrow_t&) noexcept
+{
+    std::free(p);
+}
+
+namespace flashcache {
+namespace obs {
+namespace {
+
+TEST(TracerAllocTest, RecordingNeverAllocates)
+{
+    Tracer t(1024); // construction preallocates the ring
+    // Warm one full lap so any lazy setup is behind us.
+    for (int i = 0; i < 1024; ++i)
+        t.leaf("warm", "c", 1e-6);
+
+    const std::uint64_t before = g_allocCount;
+    // Four laps of mixed recording: wraps, drops, nesting.
+    for (int i = 0; i < 1024; ++i) {
+        SpanGuard outer(&t, "outer", "c");
+        t.leaf("leaf", "c", 1e-6);
+        t.instant("mark", "c");
+        {
+            SpanGuard inner(&t, "inner", "c");
+            t.leaf("deep", "c", 1e-7);
+        }
+    }
+    EXPECT_EQ(g_allocCount, before);
+    EXPECT_EQ(t.size(), t.capacity());
+    EXPECT_GT(t.dropped(), 0u);
+}
+
+TEST(TracerAllocTest, NullTracerSitesNeverAllocate)
+{
+    Tracer* none = nullptr;
+    const std::uint64_t before = g_allocCount;
+    for (int i = 0; i < 4096; ++i) {
+        FC_SPAN(none, "s", "c");
+        FC_LEAF(none, "l", "c", 1e-6);
+        FC_INSTANT(none, "i", "c");
+    }
+    EXPECT_EQ(g_allocCount, before);
+}
+
+} // namespace
+} // namespace obs
+} // namespace flashcache

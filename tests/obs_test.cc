@@ -1,0 +1,452 @@
+/**
+ * @file
+ * Observability coverage: the JSON writer/parser round-trip, the
+ * metric registry (registration, composite expansion, stable JSON
+ * schema and key order, the gem5-style text dump), the
+ * request-lifecycle tracer (clock, nesting, ring wrap), the Chrome
+ * trace exporter (well-formed, monotone, properly nested), and the
+ * shared --stats-json/--trace-out flag parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/cli.hh"
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "sim/system_sim.hh"
+#include "workload/synthetic.hh"
+
+namespace flashcache {
+namespace obs {
+namespace {
+
+// ---------------------------------------------------------------- JSON
+
+TEST(JsonWriterTest, CompactNestedDocument)
+{
+    std::ostringstream os;
+    {
+        JsonWriter w(os, 0);
+        w.beginObject();
+        w.member("a", std::uint64_t(1));
+        w.key("b");
+        w.beginArray();
+        w.value(2.5);
+        w.value("x");
+        w.value(true);
+        w.nullValue();
+        w.endArray();
+        w.endObject();
+    }
+    EXPECT_EQ(os.str(), "{\"a\":1,\"b\":[2.5,\"x\",true,null]}");
+}
+
+TEST(JsonWriterTest, IntegralDoublesPrintWithoutExponent)
+{
+    std::ostringstream os;
+    {
+        JsonWriter w(os, 0);
+        w.beginArray();
+        w.value(20000.0);
+        w.value(0.125);
+        w.endArray();
+    }
+    EXPECT_EQ(os.str(), "[20000,0.125]");
+}
+
+TEST(JsonWriterTest, EscapesControlAndQuote)
+{
+    std::ostringstream os;
+    {
+        JsonWriter w(os, 0);
+        w.value(std::string_view("a\"b\\c\n\t"));
+    }
+    EXPECT_EQ(os.str(), "\"a\\\"b\\\\c\\n\\t\"");
+}
+
+TEST(JsonParseTest, RoundTripPreservesKeyOrder)
+{
+    const std::string doc =
+        "{\"zeta\": 1, \"alpha\": [true, null, \"s\"],"
+        " \"mid\": {\"x\": -2.5e2}}";
+    const auto v = parseJson(doc);
+    ASSERT_TRUE(v.has_value());
+    ASSERT_TRUE(v->isObject());
+    EXPECT_EQ(v->keys(),
+              (std::vector<std::string>{"zeta", "alpha", "mid"}));
+    EXPECT_DOUBLE_EQ(v->find("zeta")->number, 1.0);
+    ASSERT_TRUE(v->find("alpha")->isArray());
+    EXPECT_TRUE(v->find("alpha")->array[1].isNull());
+    EXPECT_EQ(v->find("alpha")->array[2].str, "s");
+    EXPECT_DOUBLE_EQ(v->find("mid")->find("x")->number, -250.0);
+}
+
+TEST(JsonParseTest, UnicodeEscapeDecodes)
+{
+    const auto v = parseJson("\"\\u0041\\u00e9\"");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->str, "A\xC3\xA9");
+}
+
+TEST(JsonParseTest, RejectsMalformed)
+{
+    std::string err;
+    EXPECT_FALSE(parseJson("{\"a\":}", &err).has_value());
+    EXPECT_FALSE(parseJson("{} trailing", &err).has_value());
+    EXPECT_FALSE(parseJson("[1,]", &err).has_value());
+    EXPECT_FALSE(parseJson("", &err).has_value());
+    std::string deep(100, '[');
+    EXPECT_FALSE(parseJson(deep, &err).has_value());
+}
+
+// ------------------------------------------------------------- Registry
+
+TEST(MetricRegistryTest, CountersGaugesAndValue)
+{
+    std::uint64_t hits = 7;
+    double busy = 1.5;
+    MetricRegistry reg;
+    reg.counter("t.hits", "hits", &hits);
+    reg.counter("t.busy", "busy seconds", &busy);
+    reg.gauge("t.rate", "hits per busy", [&] { return hits / busy; });
+
+    EXPECT_EQ(reg.size(), 3u);
+    EXPECT_TRUE(reg.has("t.hits"));
+    EXPECT_FALSE(reg.has("t.nope"));
+    EXPECT_DOUBLE_EQ(reg.value("t.hits"), 7.0);
+    hits = 8; // live pointer, not a copy
+    EXPECT_DOUBLE_EQ(reg.value("t.hits"), 8.0);
+    EXPECT_DOUBLE_EQ(reg.value("t.busy"), 1.5);
+    EXPECT_DOUBLE_EQ(reg.value("t.rate"), 8.0 / 1.5);
+}
+
+TEST(MetricRegistryTest, RatioExpandsToThreeMetrics)
+{
+    RatioStat r;
+    r.hit();
+    r.hit();
+    r.miss();
+    MetricRegistry reg;
+    reg.ratio("t.read", "test reads", &r);
+    EXPECT_DOUBLE_EQ(reg.value("t.read_hits"), 2.0);
+    EXPECT_DOUBLE_EQ(reg.value("t.read_misses"), 1.0);
+    EXPECT_NEAR(reg.value("t.read_hit_rate"), 2.0 / 3.0, 1e-12);
+}
+
+TEST(MetricRegistryDeathTest, DuplicateNameIsFatal)
+{
+    std::uint64_t v = 0;
+    MetricRegistry reg;
+    reg.counter("t.dup", "first", &v);
+    EXPECT_DEATH(reg.counter("t.dup", "second", &v),
+                 "duplicate metric");
+}
+
+TEST(MetricRegistryDeathTest, UnknownAndHistogramValueArePanics)
+{
+    Histogram h(0.0, 1.0, 4);
+    MetricRegistry reg;
+    reg.histogram("t.hist", "a histogram", &h);
+    EXPECT_DEATH(reg.value("t.nope"), "unknown metric");
+    EXPECT_DEATH(reg.value("t.hist"), "histogram");
+}
+
+TEST(MetricRegistryTest, JsonSchemaAndRegistrationOrder)
+{
+    std::uint64_t c = 42;
+    Histogram h(0.0, 4.0, 4);
+    h.add(0.5);
+    h.add(0.6);
+    h.add(3.5);
+    MetricRegistry reg;
+    reg.counter("z.last_registered_first", "order check", &c);
+    reg.gauge("a.gauge", "g", [] { return 1.25; });
+    reg.histogram("m.hist", "latency", &h);
+
+    std::ostringstream os;
+    reg.toJson(os);
+    const auto v = parseJson(os.str());
+    ASSERT_TRUE(v.has_value()) << os.str();
+    EXPECT_EQ(v->find("schema")->str, "flashcache-stats-v1");
+    const JsonValue* m = v->find("metrics");
+    ASSERT_NE(m, nullptr);
+    // Key order is registration order, not alphabetical.
+    EXPECT_EQ(m->keys(),
+              (std::vector<std::string>{"z.last_registered_first",
+                                        "a.gauge", "m.hist"}));
+    EXPECT_DOUBLE_EQ(m->find("z.last_registered_first")->number, 42.0);
+    const JsonValue* hist = m->find("m.hist");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_DOUBLE_EQ(hist->find("count")->number, 3.0);
+    EXPECT_TRUE(hist->find("p50")->isNumber());
+    EXPECT_TRUE(hist->find("p99")->isNumber());
+    // Two occupied bins (two samples in [0,1), one in [3,4)).
+    ASSERT_TRUE(hist->find("bins")->isArray());
+    ASSERT_EQ(hist->find("bins")->array.size(), 2u);
+    EXPECT_DOUBLE_EQ(hist->find("bins")->array[0].array[2].number, 2.0);
+}
+
+TEST(MetricRegistryTest, TextDumpHasNameValueDesc)
+{
+    std::uint64_t c = 20000;
+    MetricRegistry reg;
+    reg.counter("t.requests", "requests served", &c);
+    std::ostringstream os;
+    reg.dumpText(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("t.requests"), std::string::npos);
+    EXPECT_NE(s.find("20000"), std::string::npos); // integer, not 2e4
+    EXPECT_NE(s.find("# requests served"), std::string::npos);
+}
+
+// --------------------------------------------------------------- Tracer
+
+TEST(TracerTest, LeavesAdvanceTheClock)
+{
+    Tracer t(16);
+    EXPECT_DOUBLE_EQ(t.now(), 0.0);
+    t.leaf("a", "cat", 0.25);
+    t.leaf("b", "cat", 0.5);
+    EXPECT_DOUBLE_EQ(t.now(), 0.75);
+    const auto evs = t.events();
+    ASSERT_EQ(evs.size(), 2u);
+    EXPECT_DOUBLE_EQ(evs[0].start, 0.0);
+    EXPECT_DOUBLE_EQ(evs[1].start, 0.25);
+    EXPECT_DOUBLE_EQ(evs[1].dur, 0.5);
+}
+
+TEST(TracerTest, SpansNestAroundLeaves)
+{
+    Tracer t(16);
+    t.leaf("pre", "c", 1.0);
+    {
+        SpanGuard outer(&t, "outer", "c");
+        t.leaf("child1", "c", 0.5);
+        {
+            SpanGuard inner(&t, "inner", "c");
+            t.leaf("child2", "c", 0.25);
+        }
+    }
+    const auto evs = t.events();
+    ASSERT_EQ(evs.size(), 5u); // pre, child1, child2, inner, outer
+    const TraceEvent& outer = evs[4];
+    const TraceEvent& inner = evs[3];
+    EXPECT_STREQ(outer.name, "outer");
+    EXPECT_EQ(outer.depth, 0);
+    EXPECT_EQ(inner.depth, 1);
+    EXPECT_DOUBLE_EQ(outer.start, 1.0);
+    EXPECT_DOUBLE_EQ(outer.dur, 0.75);
+    // The inner span covers exactly its one leaf...
+    EXPECT_DOUBLE_EQ(inner.start, 1.5);
+    EXPECT_DOUBLE_EQ(inner.dur, 0.25);
+    // ...and sits inside the outer span.
+    EXPECT_GE(inner.start, outer.start);
+    EXPECT_LE(inner.start + inner.dur, outer.start + outer.dur);
+}
+
+TEST(TracerTest, RingWrapsWithoutGrowingAndCountsDrops)
+{
+    Tracer t(4);
+    for (int i = 0; i < 10; ++i)
+        t.leaf("e", "c", 1.0);
+    EXPECT_EQ(t.size(), 4u);
+    EXPECT_EQ(t.capacity(), 4u);
+    EXPECT_EQ(t.recorded(), 10u);
+    EXPECT_EQ(t.dropped(), 6u);
+    const auto evs = t.events();
+    ASSERT_EQ(evs.size(), 4u);
+    // Oldest-first: the four newest events survive, in order.
+    for (std::size_t i = 0; i < evs.size(); ++i)
+        EXPECT_EQ(evs[i].seq, 6u + i);
+    t.clear();
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(TracerTest, NullTracerMacrosAreNoOps)
+{
+    Tracer* none = nullptr;
+    FC_SPAN(none, "s", "c");
+    FC_LEAF(none, "l", "c", 1.0);
+    FC_INSTANT(none, "i", "c");
+    SUCCEED();
+}
+
+/**
+ * Chrome-trace validity: parse the export, then replay the events in
+ * timestamp order against a span stack — every event must begin at
+ * or after its enclosing span's begin and end at or before its end.
+ */
+void
+expectValidChromeTrace(const std::string& text)
+{
+    std::string err;
+    const auto v = parseJson(text, &err);
+    ASSERT_TRUE(v.has_value()) << err;
+    EXPECT_EQ(v->find("displayTimeUnit")->str, "ms");
+    const JsonValue* evs = v->find("traceEvents");
+    ASSERT_NE(evs, nullptr);
+    ASSERT_TRUE(evs->isArray());
+    ASSERT_FALSE(evs->array.empty());
+
+    constexpr double kEps = 1e-6; // µs; absorbs float rounding
+    double prev_ts = -1e300;
+    std::vector<std::pair<double, double>> stack; // [begin, end)
+    for (const JsonValue& e : evs->array) {
+        EXPECT_EQ(e.find("ph")->str, "X");
+        ASSERT_TRUE(e.find("name")->isString());
+        const double ts = e.find("ts")->number;
+        const double dur = e.find("dur")->number;
+        EXPECT_GE(dur, 0.0);
+        EXPECT_GE(ts, prev_ts) << "timestamps must be monotone";
+        prev_ts = ts;
+        while (!stack.empty() && ts >= stack.back().second - kEps)
+            stack.pop_back();
+        if (!stack.empty()) {
+            EXPECT_LE(ts + dur, stack.back().second + kEps)
+                << e.find("name")->str << " leaks out of its parent";
+        }
+        stack.push_back({ts, ts + dur});
+    }
+}
+
+TEST(TracerTest, ExportIsWellFormedAndNested)
+{
+    Tracer t(64);
+    {
+        SpanGuard req(&t, "request", "sim");
+        t.leaf("cpu", "cpu", 0.001);
+        {
+            SpanGuard rd(&t, "cache.read", "cache");
+            t.leaf("flash.read", "flash", 0.0001);
+            t.leaf("ecc.decode", "ecc", 0.00002);
+        }
+    }
+    {
+        SpanGuard req(&t, "request", "sim");
+        t.instant("pdc.miss", "pdc");
+        t.leaf("disk.fill", "disk", 0.004);
+    }
+    std::ostringstream os;
+    t.exportChromeTrace(os);
+    expectValidChromeTrace(os.str());
+}
+
+// ------------------------------------------------------------- CLI flags
+
+TEST(CliOptionsTest, ParseStripsObsFlagsInPlace)
+{
+    char prog[] = "tool", cmd[] = "run", wl[] = "dbt2";
+    char f1[] = "--stats-json", v1[] = "s.json";
+    char f2[] = "--trace-out", v2[] = "t.json";
+    char f3[] = "--trace-events", v3[] = "1024";
+    char* argv[] = {prog, f1, v1, cmd, f2, v2, wl, f3, v3};
+    int argc = 9;
+    const CliOptions o = CliOptions::parse(argc, argv);
+    EXPECT_EQ(o.statsJson, "s.json");
+    EXPECT_EQ(o.traceOut, "t.json");
+    EXPECT_EQ(o.traceEvents, 1024u);
+    EXPECT_TRUE(o.wantStats());
+    EXPECT_TRUE(o.wantTrace());
+    ASSERT_EQ(argc, 3);
+    EXPECT_STREQ(argv[0], "tool");
+    EXPECT_STREQ(argv[1], "run");
+    EXPECT_STREQ(argv[2], "dbt2");
+}
+
+TEST(CliOptionsTest, DefaultsAreOff)
+{
+    char prog[] = "tool";
+    char* argv[] = {prog};
+    int argc = 1;
+    const CliOptions o = CliOptions::parse(argc, argv);
+    EXPECT_FALSE(o.wantStats());
+    EXPECT_FALSE(o.wantTrace());
+    EXPECT_EQ(o.traceEvents, std::size_t(1) << 16);
+    EXPECT_EQ(argc, 1);
+}
+
+// ----------------------------------------------------------- End-to-end
+
+SystemConfig
+smallConfig()
+{
+    SystemConfig cfg;
+    cfg.dramBytes = mib(4);
+    cfg.flashBytes = mib(8);
+    cfg.seed = 3;
+    return cfg;
+}
+
+TEST(SystemObsTest, StatsJsonParsesWithStableSchema)
+{
+    SystemSimulator sim(smallConfig());
+    SyntheticConfig wl;
+    wl.workingSetPages = 2000;
+    auto gen = makeSynthetic(wl);
+    sim.run(*gen, 20000);
+
+    std::ostringstream os;
+    sim.writeStatsJson(os);
+    std::string err;
+    const auto v = parseJson(os.str(), &err);
+    ASSERT_TRUE(v.has_value()) << err;
+    EXPECT_EQ(v->find("schema")->str, "flashcache-stats-v1");
+    const JsonValue* m = v->find("metrics");
+    ASSERT_NE(m, nullptr);
+    EXPECT_DOUBLE_EQ(m->find("system.requests")->number, 20000.0);
+    // Every layer contributes; spot-check one name per prefix.
+    for (const char* key :
+         {"system.request_latency", "pdc.read_hit_rate",
+          "dram.read_busy", "disk.accesses", "flash.reads",
+          "cache.read_hit_rate", "cache.write_amplification",
+          "controller.reads", "ecc.corrected_read_rate",
+          "power.total"}) {
+        EXPECT_NE(m->find(key), nullptr) << key;
+    }
+    // Key order is exactly registration order: system.* leads.
+    const auto keys = m->keys();
+    ASSERT_GT(keys.size(), 4u);
+    EXPECT_EQ(keys[0], "system.requests");
+
+    // Re-export: byte-identical (the schema is deterministic).
+    std::ostringstream os2;
+    sim.writeStatsJson(os2);
+    EXPECT_EQ(os.str(), os2.str());
+}
+
+TEST(SystemObsTest, EndToEndTraceValidates)
+{
+#if !FLASHCACHE_TRACING
+    GTEST_SKIP() << "instrumentation compiled out (FLASHCACHE_TRACING=0)";
+#endif
+    SystemSimulator sim(smallConfig());
+    sim.enableTracing(1u << 14);
+    ASSERT_NE(sim.tracer(), nullptr);
+    SyntheticConfig wl;
+    wl.workingSetPages = 2000;
+    auto gen = makeSynthetic(wl);
+    sim.run(*gen, 5000);
+
+    EXPECT_GT(sim.tracer()->recorded(), 5000u); // >= one span/request
+    std::ostringstream os;
+    sim.tracer()->exportChromeTrace(os);
+    expectValidChromeTrace(os.str());
+    // The request lifecycle actually shows up.
+    const std::string s = os.str();
+    for (const char* name :
+         {"\"request\"", "\"cpu.compute\"", "\"dram.", "\"cache.read\"",
+          "\"flash.read\"", "\"ecc.decode\"", "\"disk.fill\""}) {
+        EXPECT_NE(s.find(name), std::string::npos) << name;
+    }
+}
+
+} // namespace
+} // namespace obs
+} // namespace flashcache

@@ -124,9 +124,9 @@ TEST(StatsDumpTest, ContainsAllSections)
     sim.dumpStats(ss);
     const std::string s = ss.str();
     for (const char* key :
-         {"sim.requests", "sim.throughput", "pdc.read_hit_rate",
-          "disk.accesses", "flash.read_hit_rate", "flash.gc_runs",
-          "ctrl.ecc_busy", "power.total"}) {
+         {"system.requests", "system.throughput", "pdc.read_hit_rate",
+          "disk.accesses", "cache.read_hit_rate", "cache.gc_runs",
+          "ecc.busy", "power.total"}) {
         EXPECT_NE(s.find(key), std::string::npos) << key;
     }
     // Sanity: the request count renders as the number we ran.

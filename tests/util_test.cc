@@ -1,13 +1,18 @@
 /**
  * @file
  * Unit tests for the util substrate: statistics accumulators,
- * histograms, and the numeric helpers backing the reliability model.
+ * histograms, leveled logging, and the numeric helpers backing the
+ * reliability model.
  */
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "util/log.hh"
 #include "util/mathx.hh"
 #include "util/stats.hh"
 #include "util/types.hh"
@@ -89,6 +94,83 @@ TEST(HistogramTest, Percentile)
         h.add(i + 0.5);
     EXPECT_NEAR(h.percentile(0.5), 50.0, 1.5);
     EXPECT_NEAR(h.percentile(0.99), 99.0, 1.5);
+}
+
+TEST(HistogramTest, EmptyPercentileIsRangeLow)
+{
+    Histogram h(2.0, 10.0, 4);
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 2.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 2.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 2.0);
+}
+
+TEST(HistogramTest, SingleBinPercentiles)
+{
+    // One bin: every sample lands in [0, 8); every percentile is the
+    // bin's upper edge, which must equal the range's upper edge.
+    Histogram h(0.0, 8.0, 1);
+    h.add(3.0);
+    h.add(7.9);
+    h.add(100.0); // clamped into the only bin
+    EXPECT_DOUBLE_EQ(h.percentile(0.01), 8.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 8.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 8.0);
+}
+
+TEST(HistogramTest, BinEdgesComeFromIndexNotTruncation)
+{
+    // binLo takes the bin index; a fractional-looking range must not
+    // truncate edges (the pre-fix signature took the index as a
+    // double and was called with values it silently floored).
+    Histogram h(0.25, 2.25, 4); // width 0.5
+    EXPECT_DOUBLE_EQ(h.binLo(0), 0.25);
+    EXPECT_DOUBLE_EQ(h.binLo(1), 0.75);
+    EXPECT_DOUBLE_EQ(h.binLo(3), 1.75);
+    EXPECT_DOUBLE_EQ(h.binLo(4), 2.25); // upper range edge
+    h.add(1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 1.25); // upper edge of bin 1
+}
+
+TEST(HistogramTest, AllMassInLastBinPercentile)
+{
+    Histogram h(0.0, 4.0, 4);
+    h.add(3.5);
+    h.add(9.0); // clamped into the last bin
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 4.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 4.0);
+}
+
+TEST(LogTest, LevelFiltersAndSinkReceives)
+{
+    std::vector<std::pair<LogLevel, std::string>> got;
+    setLogSink([&](LogLevel lv, const std::string& m) {
+        got.emplace_back(lv, m);
+    });
+    setLogLevel(LogLevel::Warn);
+    debug("d");
+    inform("i");
+    warn("w");
+    error("e");
+    setLogLevel(LogLevel::Debug);
+    debug("d2");
+    // Restore defaults for the other tests.
+    setLogSink(nullptr);
+    setLogLevel(LogLevel::Info);
+
+    ASSERT_EQ(got.size(), 3u);
+    EXPECT_EQ(got[0], std::make_pair(LogLevel::Warn, std::string("w")));
+    EXPECT_EQ(got[1], std::make_pair(LogLevel::Error, std::string("e")));
+    EXPECT_EQ(got[2], std::make_pair(LogLevel::Debug, std::string("d2")));
+}
+
+TEST(LogTest, SetVerboseMapsToLevels)
+{
+    setVerbose(true);
+    EXPECT_EQ(logLevel(), LogLevel::Info);
+    setVerbose(false);
+    EXPECT_EQ(logLevel(), LogLevel::Warn);
+    setLogLevel(LogLevel::Info); // restore default
 }
 
 TEST(MathxTest, NormalCdfKnownValues)
