@@ -12,11 +12,16 @@
  *   trace_tool run <workload> <requests> [scale]
  *             [--stats-json FILE] [--trace-out FILE]
  *             [--trace-events N]
+ *             [--save-state PREFIX] [--load-state PREFIX]
  *
  * `run` drives the workload through the full system simulator
  * (DRAM PDC + flash cache + disk) and prints the gem5-style stats
  * dump; --stats-json snapshots the metric registry and --trace-out
  * writes a Chrome trace (open in chrome://tracing or Perfetto).
+ * --save-state persists the flash stack (<PREFIX>.dev +
+ * <PREFIX>.cache) after the run, atomically (temp file + rename), so
+ * a crash mid-save can never leave a corrupt snapshot; --load-state
+ * warm-starts from such a snapshot before the run.
  */
 
 #include <cstdio>
@@ -51,6 +56,22 @@ makeByName(const std::string& name, double scale)
     return nullptr;
 }
 
+/** Strip `--flag VALUE` from argv; empty string when absent. */
+std::string
+takeFlag(int& argc, char** argv, const char* flag)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], flag) != 0)
+            continue;
+        const std::string value = argv[i + 1];
+        for (int j = i; j + 2 < argc; ++j)
+            argv[j] = argv[j + 2];
+        argc -= 2;
+        return value;
+    }
+    return std::string();
+}
+
 int
 usage()
 {
@@ -61,6 +82,7 @@ usage()
                  "  trace_tool summarize <trace.csv>\n"
                  "  trace_tool curve <trace.csv>\n"
                  "  trace_tool run <workload> <requests> [scale] "
+                 "[--save-state PREFIX] [--load-state PREFIX] "
                  "[obs flags]\n"
                  "workloads: uniform alpha1 alpha2 alpha3 exp1 exp2 "
                  "dbt2 SPECWeb99 WebSearch1 WebSearch2 Financial1 "
@@ -76,6 +98,8 @@ int
 main(int argc, char** argv)
 {
     const obs::CliOptions obsOpts = obs::CliOptions::parse(argc, argv);
+    const std::string saveState = takeFlag(argc, argv, "--save-state");
+    const std::string loadState = takeFlag(argc, argv, "--load-state");
     if (argc < 3)
         return usage();
     const std::string cmd = argv[1];
@@ -96,6 +120,11 @@ main(int argc, char** argv)
         cfg.flashBytes = mib(64);
         cfg.seed = 2026;
         SystemSimulator sim(cfg);
+        if (!loadState.empty() && !sim.loadFlashState(loadState)) {
+            std::fprintf(stderr, "cannot load state from %s.{dev,cache}\n",
+                         loadState.c_str());
+            return 1;
+        }
         if (obsOpts.wantTrace())
             sim.enableTracing(obsOpts.traceEvents);
         sim.run(*gen, requests);
@@ -105,6 +134,17 @@ main(int argc, char** argv)
             obs::writeStatsJson(sim.metrics(), obsOpts.statsJson);
         if (obsOpts.wantTrace())
             obs::writeTrace(*sim.tracer(), obsOpts.traceOut);
+        if (!saveState.empty()) {
+            // Atomic (temp file + rename): an interrupted save leaves
+            // any previous snapshot intact for the next --load-state.
+            if (!sim.saveFlashState(saveState)) {
+                std::fprintf(stderr, "state save to %s.{dev,cache} "
+                             "failed\n", saveState.c_str());
+                return 1;
+            }
+            std::printf("flash state saved to %s.{dev,cache}\n",
+                        saveState.c_str());
+        }
         return 0;
     }
 

@@ -11,6 +11,7 @@
 #include <fstream>
 
 #include "core/flash_cache.hh"
+#include "util/atomic_file.hh"
 #include "util/rng.hh"
 
 using namespace flashcache;
@@ -70,10 +71,17 @@ main()
                     static_cast<unsigned long long>(cache.validPages()),
                     static_cast<unsigned long long>(disk.reads));
 
-        std::ofstream dev_out(dev_path, std::ios::binary);
-        device.saveState(dev_out);
-        std::ofstream cache_out(cache_path, std::ios::binary);
-        cache.saveState(cache_out);
+        // Atomic saves (temp file + rename): a crash mid-save leaves
+        // the previous snapshot intact, never a torn one.
+        if (!atomicWriteFile(dev_path, [&](std::ostream& os) {
+                device.saveState(os);
+            }) ||
+            !atomicWriteFile(cache_path, [&](std::ostream& os) {
+                cache.saveState(os);
+            })) {
+            std::fprintf(stderr, "state save failed\n");
+            return 1;
+        }
     }
 
     // --- after the "reboot": fresh objects, tables loaded ---

@@ -10,6 +10,56 @@
 
 namespace flashcache {
 
+namespace {
+
+/** OOB magic bytes: make an all-zero (torn/unwritten) spare tail
+ *  unparseable even in the vanishing case of a colliding CRC. */
+constexpr std::uint8_t kOobMagic0 = 0xF1;
+constexpr std::uint8_t kOobMagic1 = 0x0C;
+
+} // namespace
+
+void
+packOobRecord(std::uint8_t* spare, std::uint32_t spare_bytes,
+              const OobRecord& rec)
+{
+    if (spare_bytes < kOobRecordBytes)
+        panic("spare area too small for the OOB record");
+    std::uint8_t* const tail = spare + spare_bytes - kOobRecordBytes;
+    std::memcpy(tail, &rec.lba, 8);
+    std::memcpy(tail + 8, &rec.seq, 8);
+    tail[16] = static_cast<std::uint8_t>((rec.dirty ? 1 : 0) |
+                                         ((rec.region & 1) << 1));
+    tail[17] = rec.eccStrength;
+    tail[18] = kOobMagic0;
+    tail[19] = kOobMagic1;
+    // The OOB CRC covers everything before it: data CRC, BCH parity,
+    // and the record body — one check rejects any torn prefix.
+    const std::uint32_t crc = crc32(spare, spare_bytes - 4);
+    std::memcpy(tail + 20, &crc, 4);
+}
+
+bool
+parseOobRecord(const std::uint8_t* spare, std::uint32_t spare_bytes,
+               OobRecord& rec)
+{
+    if (spare_bytes < kOobRecordBytes)
+        return false;
+    const std::uint8_t* const tail = spare + spare_bytes - kOobRecordBytes;
+    if (tail[18] != kOobMagic0 || tail[19] != kOobMagic1)
+        return false;
+    std::uint32_t stored;
+    std::memcpy(&stored, tail + 20, 4);
+    if (crc32(spare, spare_bytes - 4) != stored)
+        return false;
+    std::memcpy(&rec.lba, tail, 8);
+    std::memcpy(&rec.seq, tail + 8, 8);
+    rec.dirty = (tail[16] & 1) != 0;
+    rec.region = (tail[16] >> 1) & 1;
+    rec.eccStrength = tail[17];
+    return true;
+}
+
 FlashMemoryController::FlashMemoryController(FlashDevice& device,
                                              const EccTimingModel& timing,
                                              unsigned max_ecc)
@@ -36,6 +86,12 @@ FlashMemoryController::registerMetrics(obs::MetricRegistry& reg) const
                 &stats_.bitsCorrected);
     reg.counter("ecc.busy", "ECC engine busy seconds",
                 &stats_.eccTime);
+    reg.counter("controller.program_failures",
+                "program-status failures reported by the device",
+                &stats_.programFailures);
+    reg.counter("controller.erase_failures",
+                "erase failures reported by the device",
+                &stats_.eraseFailures);
     const ControllerStats* st = &stats_;
     reg.gauge("ecc.corrected_read_rate",
               "fraction of reads needing correction", [st] {
@@ -85,54 +141,70 @@ FlashMemoryController::readPage(const PageAddress& addr,
     return res;
 }
 
-Seconds
+ControllerWriteResult
 FlashMemoryController::writePage(const PageAddress& addr,
                                  const PageDescriptor& desc)
 {
     const Seconds enc = timing_.encodeLatency(desc.eccStrength);
-    const Seconds dev_lat = device_->programPage(addr);
+    const auto prog = device_->programPage(addr);
     FC_LEAF(tracer_, "ecc.encode", "ecc", enc);
-    FC_LEAF(tracer_, "flash.program", "flash", dev_lat);
+    FC_LEAF(tracer_, "flash.program", "flash", prog.latency);
     stats_.eccTime += enc;
     ++stats_.writes;
-    return dev_lat + enc;
+    if (prog.failed) {
+        ++stats_.programFailures;
+        FC_INSTANT(tracer_, "fault.program_fail", "fault");
+    }
+    return {prog.latency + enc, prog.failed};
 }
 
-Seconds
+ControllerEraseResult
 FlashMemoryController::eraseBlock(std::uint32_t block)
 {
     ++stats_.erases;
-    const Seconds lat = device_->eraseBlock(block);
-    FC_LEAF(tracer_, "flash.erase", "flash", lat);
-    return lat;
+    const auto er = device_->eraseBlock(block);
+    FC_LEAF(tracer_, "flash.erase", "flash", er.latency);
+    if (er.failed) {
+        ++stats_.eraseFailures;
+        FC_INSTANT(tracer_, "fault.erase_fail", "fault");
+    }
+    return {er.latency, er.failed};
 }
 
-Seconds
+ControllerWriteResult
 FlashMemoryController::writePageReal(const PageAddress& addr,
                                      const PageDescriptor& desc,
-                                     const std::uint8_t* data)
+                                     const std::uint8_t* data,
+                                     const OobRecord* oob)
 {
     const auto& geom = device_->geometry();
     wspare_.assign(geom.pageSpareBytes, 0);
 
-    // Spare layout: [0..3] CRC32 of the data, [4..] BCH parity.
+    // Spare layout: [0..3] CRC32 of the data, [4..] BCH parity, and
+    // (cache programs) the self-describing OOB record in the tail.
     const std::uint32_t crc = crc32(data, geom.pageDataBytes);
     std::memcpy(wspare_.data(), &crc, 4);
     if (desc.eccStrength > 0) {
         const BchCode& code = codeFor(desc.eccStrength);
-        if (4 + code.parityBytes() > geom.pageSpareBytes)
+        const std::uint32_t reserved = oob ? kOobRecordBytes : 0;
+        if (4 + code.parityBytes() + reserved > geom.pageSpareBytes)
             panic("BCH parity does not fit the spare area");
         code.encode(data, wspare_.data() + 4);
     }
+    if (oob)
+        packOobRecord(wspare_.data(), geom.pageSpareBytes, *oob);
 
     const Seconds enc = timing_.encodeLatency(desc.eccStrength);
-    const Seconds dev_lat = device_->programPage(addr, data,
-                                                 wspare_.data());
+    const auto prog = device_->programPage(addr, data, wspare_.data());
     FC_LEAF(tracer_, "ecc.encode", "ecc", enc);
-    FC_LEAF(tracer_, "flash.program", "flash", dev_lat);
+    FC_LEAF(tracer_, "flash.program", "flash", prog.latency);
     stats_.eccTime += enc;
     ++stats_.writes;
-    return dev_lat + enc;
+    if (prog.failed) {
+        ++stats_.programFailures;
+        FC_INSTANT(tracer_, "fault.program_fail", "fault");
+    }
+    return {prog.latency + enc, prog.failed};
 }
 
 ControllerReadResult

@@ -69,6 +69,23 @@ struct ControllerReadResult
     Seconds latency = 0.0;
 };
 
+/** Result of a controller page program. */
+struct ControllerWriteResult
+{
+    /** Encode + program latency. */
+    Seconds latency = 0.0;
+    /** Device reported program-status failure; page holds garbage. */
+    bool failed = false;
+};
+
+/** Result of a controller block erase. */
+struct ControllerEraseResult
+{
+    Seconds latency = 0.0;
+    /** Erase verify failed; the block must be retired. */
+    bool failed = false;
+};
+
 /** Controller-side counters. */
 struct ControllerStats
 {
@@ -78,8 +95,44 @@ struct ControllerStats
     std::uint64_t correctedReads = 0;
     std::uint64_t uncorrectableReads = 0;
     std::uint64_t bitsCorrected = 0;
+    std::uint64_t programFailures = 0;
+    std::uint64_t eraseFailures = 0;
     Seconds eccTime = 0.0;
 };
+
+/**
+ * Self-describing out-of-band record stored in the tail of the spare
+ * area by every real-path cache program. Recovery rebuilds the DRAM
+ * tables (FCHT/FPST/FBST, region membership) from these records
+ * alone; the CRC (which also covers the data CRC and BCH parity
+ * earlier in the spare) plus a 2-byte magic rejects torn pages.
+ */
+struct OobRecord
+{
+    Lba lba = kInvalidLba;
+    /** Global program sequence number; resolves duplicate LBAs. */
+    std::uint64_t seq = 0;
+    /** Owning region at program time (0 = read, 1 = write). */
+    std::uint8_t region = 0;
+    /** Page held data newer than the backing store. */
+    bool dirty = false;
+    /** ECC strength the page was encoded at. */
+    std::uint8_t eccStrength = 1;
+};
+
+/** Spare-area bytes reserved for the OOB record (tail of the spare):
+ *  lba(8) seq(8) flags(1) ecc(1) magic(2) crc(4). */
+inline constexpr std::uint32_t kOobRecordBytes = 24;
+
+/** Serialize an OOB record into the spare tail; `spare` must span
+ *  the full spare area and spare_bytes >= kOobRecordBytes. */
+void packOobRecord(std::uint8_t* spare, std::uint32_t spare_bytes,
+                   const OobRecord& rec);
+
+/** Parse and CRC-validate the spare tail. @return false for torn,
+ *  erased-noise, or pre-OOB pages. */
+bool parseOobRecord(const std::uint8_t* spare, std::uint32_t spare_bytes,
+                    OobRecord& rec);
 
 /**
  * Programmable controller front-end over one FlashDevice.
@@ -105,20 +158,23 @@ class FlashMemoryController
     ControllerReadResult readPage(const PageAddress& addr,
                                   const PageDescriptor& desc);
 
-    /** Modeled-path program. @return latency including encode. */
-    Seconds writePage(const PageAddress& addr,
-                      const PageDescriptor& desc);
+    /** Modeled-path program. */
+    ControllerWriteResult writePage(const PageAddress& addr,
+                                    const PageDescriptor& desc);
 
-    Seconds eraseBlock(std::uint32_t block);
+    ControllerEraseResult eraseBlock(std::uint32_t block);
 
     /**
      * Real-path program: encodes `data` (pageDataBytes) with BCH at
      * the descriptor strength plus CRC32 into the spare area and
-     * stores it in the device. Requires a store_data device.
+     * stores it in the device. When `oob` is given the record is
+     * packed into the spare tail (kOobRecordBytes) for crash
+     * recovery. Requires a store_data device.
      */
-    Seconds writePageReal(const PageAddress& addr,
-                          const PageDescriptor& desc,
-                          const std::uint8_t* data);
+    ControllerWriteResult writePageReal(const PageAddress& addr,
+                                        const PageDescriptor& desc,
+                                        const std::uint8_t* data,
+                                        const OobRecord* oob = nullptr);
 
     /**
      * Real-path read: fetches the stored payload, flips

@@ -29,6 +29,26 @@ class BackingStore
 
     /** Persist one page. @return access latency. */
     virtual Seconds write(Lba lba) = 0;
+
+    /// @name Fault-aware variants. `failed` reports a latent-sector
+    /// error that survived the store's internal retries; the default
+    /// implementations delegate to the plain hooks and never fail, so
+    /// existing stores keep working unchanged.
+    /// @{
+    virtual Seconds
+    read(Lba lba, bool& failed)
+    {
+        failed = false;
+        return read(lba);
+    }
+
+    virtual Seconds
+    write(Lba lba, bool& failed)
+    {
+        failed = false;
+        return write(lba);
+    }
+    /// @}
 };
 
 /**
@@ -45,6 +65,44 @@ class PayloadBackingStore : public BackingStore
 
     /** Persist one page's contents. */
     virtual Seconds writeData(Lba lba, const std::uint8_t* data) = 0;
+
+    /** Fault-aware fetch; defaults to the plain hook, never failing. */
+    virtual Seconds
+    readData(Lba lba, std::uint8_t* out, bool& failed)
+    {
+        failed = false;
+        return readData(lba, out);
+    }
+
+    /**
+     * Persist one page tagged with the flash program sequence number
+     * of the copy being flushed (a T10-DIF-style generation tag).
+     * Crash recovery compares on-flash sequence numbers against
+     * generation() so a surviving-but-superseded flash copy of an
+     * already-flushed page can never resurrect stale data. Stores
+     * that do not track generations fall back to writeData() and
+     * recovery simply trusts flash (safe when flushes are rare or
+     * recovery is never used).
+     */
+    virtual Seconds
+    writeTagged(Lba lba, const std::uint8_t* data, std::uint64_t seq,
+                bool& failed)
+    {
+        (void)seq;
+        failed = false;
+        return writeData(lba, data);
+    }
+
+    /** Generation tag of the store's copy of `lba`; 0 = untagged. */
+    virtual std::uint64_t generation(Lba lba) const
+    {
+        (void)lba;
+        return 0;
+    }
+
+    /** Highest generation tag ever written; recovery restarts the
+     *  flash sequence counter above it. */
+    virtual std::uint64_t maxGeneration() const { return 0; }
 };
 
 } // namespace flashcache

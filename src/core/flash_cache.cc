@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <sstream>
+#include <unordered_map>
 
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
@@ -53,6 +54,7 @@ FlashCache::FlashCache(FlashMemoryController& controller,
     }
     if (config_.realData)
         pageBuf_.resize(geom.pageDataBytes);
+    pendingRetire_.reserve(numBlocks_);
 
     std::uint32_t read_blocks = config_.splitRegions
         ? static_cast<std::uint32_t>(
@@ -192,6 +194,47 @@ FlashCache::registerMetrics(obs::MetricRegistry& reg) const
                 &st->reconfigTime);
     reg.counter("cache.busy", "flash busy seconds incl. GC",
                 &st->flashBusyTime);
+
+    reg.counter("fault.program_fail_reprograms",
+                "pages re-programmed after a program-status failure",
+                &st->programFailReprograms);
+    reg.counter("fault.erase_fail_retirements",
+                "blocks retired by an erase failure",
+                &st->eraseFailRetirements);
+    reg.counter("fault.disk_fill_failures",
+                "miss fills abandoned after disk retry exhaustion",
+                &st->diskFillFailures);
+    reg.counter("fault.disk_flush_failures",
+                "dirty flushes lost to disk faults",
+                &st->diskFlushFailures);
+
+    reg.counter("recovery.scanned_pages",
+                "programmed pages examined by recover()",
+                &st->recovery.scannedPages);
+    reg.counter("recovery.torn_pages",
+                "pages rejected by the OOB CRC (torn/partial)",
+                &st->recovery.tornPages);
+    reg.counter("recovery.duplicate_pages",
+                "older copies of duplicate tags discarded",
+                &st->recovery.duplicatePages);
+    reg.counter("recovery.stale_pages",
+                "copies dropped by the disk generation tag",
+                &st->recovery.stalePages);
+    reg.counter("recovery.uncorrectable_pages",
+                "candidates failing the validation read",
+                &st->recovery.uncorrectablePages);
+    reg.counter("recovery.recovered_pages",
+                "live pages reinstated by recover()",
+                &st->recovery.recoveredPages);
+    reg.counter("recovery.recovered_dirty",
+                "recovered pages still marked dirty",
+                &st->recovery.recoveredDirty);
+    reg.counter("recovery.erased_blocks",
+                "garbage blocks erased during recovery",
+                &st->recovery.erasedBlocks);
+    reg.counter("recovery.scan_seconds",
+                "simulated scan + validation time",
+                &st->recovery.scanTime);
 }
 
 double
@@ -267,7 +310,12 @@ FlashCache::takeFreeBlock(int region, bool want_slc, bool background)
         for (std::uint16_t f = 0; f < framesPerBlock_; ++f)
             dev.requestFrameMode(block, f, DensityMode::SLC);
         Seconds& sink = background ? stats_.gcTime : stats_.evictionTime;
-        eraseBlockTracked(block, sink);
+        if (!eraseBlockTracked(block, sink)) {
+            // Reformat erase failed: the block just retired itself;
+            // try the next free block (recursion bounded by the free
+            // list length).
+            return takeFreeBlock(region, want_slc, background);
+        }
     }
     return block;
 }
@@ -303,35 +351,76 @@ FlashCache::allocateSlot(int region, bool want_slc, bool background)
     panic("allocateSlot failed to converge");
 }
 
-Seconds
+FlashCache::InstallResult
 FlashCache::installPage(std::uint64_t id, Lba lba, bool dirty,
-                        std::uint8_t access_count,
-                        const std::uint8_t* data)
+                       std::uint8_t access_count,
+                       const std::uint8_t* data)
 {
-    FpstEntry& e = fpst_[id];
-    if (e.state != PageState::Free)
-        panic("installPage into non-free slot");
+    Seconds total = 0.0;
+    for (int attempt = 0; ; ++attempt) {
+        FpstEntry& e = fpst_[id];
+        if (e.state != PageState::Free)
+            panic("installPage into non-free slot");
 
-    const PageAddress addr = addressOf(id);
-    const FlashDevice& dev = ctrl_->device();
-    e.mode = dev.frameMode(addr.block, addr.frame);
+        const PageAddress addr = addressOf(id);
+        const FlashDevice& dev = ctrl_->device();
+        e.mode = dev.frameMode(addr.block, addr.frame);
 
-    PageDescriptor desc;
-    desc.eccStrength = e.eccStrength;
-    desc.mode = e.mode;
-    const Seconds lat = data ? ctrl_->writePageReal(addr, desc, data)
-                             : ctrl_->writePage(addr, desc);
-    stats_.flashBusyTime += lat;
+        PageDescriptor desc;
+        desc.eccStrength = e.eccStrength;
+        desc.mode = e.mode;
 
-    e.lba = lba;
-    e.state = PageState::Valid;
-    e.accessCount = access_count;
-    e.dirty = dirty;
+        ControllerWriteResult wres;
+        if (data) {
+            OobRecord oob;
+            oob.lba = lba;
+            oob.seq = nextSeq_++;
+            oob.region =
+                static_cast<std::uint8_t>(regionOf(addr.block));
+            oob.dirty = dirty;
+            oob.eccStrength = e.eccStrength;
+            wres = ctrl_->writePageReal(addr, desc, data, &oob);
+        } else {
+            // Keep sequence numbering identical across the modeled
+            // and real paths so timing studies agree.
+            ++nextSeq_;
+            wres = ctrl_->writePage(addr, desc);
+        }
+        stats_.flashBusyTime += wres.latency;
+        total += wres.latency;
 
-    FbstEntry& fb = fbst_[addr.block];
-    ++fb.validPages;
-    ++regions_[regionOf(addr.block)].validCount;
-    return lat;
+        e.lba = lba;
+        e.state = PageState::Valid;
+        e.accessCount = access_count;
+        e.dirty = dirty;
+
+        FbstEntry& fb = fbst_[addr.block];
+        ++fb.validPages;
+        ++regions_[regionOf(addr.block)].validCount;
+
+        if (!wres.failed)
+            return {id, total};
+
+        // Program-status failure: the slot holds garbage. Mark it
+        // invalid (normal out-of-place bookkeeping), queue the block
+        // for retirement, and re-program on a fresh slot.
+        ++stats_.programFailReprograms;
+        FC_INSTANT(tracer_, "fault.program_fail_reprogram", "fault");
+        invalidatePage(id, false);
+        if (std::find(pendingRetire_.begin(), pendingRetire_.end(),
+                      addr.block) == pendingRetire_.end()) {
+            pendingRetire_.push_back(addr.block);
+        }
+        if (attempt >= 3)
+            fatal("repeated program failures; flash is unusable");
+        const int region = regionOf(addr.block);
+        const bool want_slc = e.mode == DensityMode::SLC;
+        const auto slot = allocateSlot(region, want_slc, false);
+        if (!slot)
+            fatal("no free slot to re-program after a program "
+                  "failure");
+        id = *slot;
+    }
 }
 
 void
@@ -459,7 +548,7 @@ FlashCache::gcPickVictim(Region& reg)
     panic("GC bucket holds a block missing from the LRU");
 }
 
-void
+bool
 FlashCache::eraseBlockTracked(std::uint32_t block, Seconds& time_sink)
 {
     FlashDevice& dev = ctrl_->device();
@@ -469,9 +558,32 @@ FlashCache::eraseBlockTracked(std::uint32_t block, Seconds& time_sink)
     if (fb.validPages != 0)
         panic("erasing block with live pages");
 
-    const Seconds lat = ctrl_->eraseBlock(block);
-    stats_.flashBusyTime += lat;
-    time_sink += lat;
+    const auto er = ctrl_->eraseBlock(block);
+    stats_.flashBusyTime += er.latency;
+    time_sink += er.latency;
+
+    if (er.failed) {
+        // Erase verify failed: retire in place. The region's capacity
+        // shrinks; pages stay unusable (never handed to a free list).
+        ++stats_.eraseFailRetirements;
+        FC_INSTANT(tracer_, "fault.erase_fail_retire", "fault");
+        for (std::uint16_t f = 0; f < framesPerBlock_; ++f) {
+            for (std::uint8_t sub = 0; sub < 2; ++sub) {
+                FpstEntry& e = fpst_[pageId({block, f, sub})];
+                e.state = PageState::Free;
+                e.lba = kInvalidLba;
+                e.dirty = false;
+                e.accessCount = 0;
+            }
+        }
+        reg.invalidCount -= fb.invalidPages;
+        fb.invalidPages = 0;
+        fb.retired = true;
+        fb.region = -1;
+        --reg.ownedBlocks;
+        ++stats_.retiredBlocks;
+        return false;
+    }
 
     // Reconcile the FPST with the (possibly changed) frame modes and
     // refresh the block's density statistics.
@@ -492,6 +604,7 @@ FlashCache::eraseBlockTracked(std::uint32_t block, Seconds& time_sink)
     fb.slcFrames = slc;
     reg.invalidCount -= fb.invalidPages;
     fb.invalidPages = 0;
+    return true;
 }
 
 ControllerReadResult
@@ -554,11 +667,11 @@ FlashCache::relocatePage(std::uint64_t id, bool want_slc,
     const std::uint8_t count = e.accessCount;
 
     invalidatePage(id, false); // mapping moves, not dropped
-    const Seconds wlat = installPage(*slot, lba, dirty, count, buf);
-    time_sink += wlat;
-    fcht_.update(lba, *slot);
+    const auto inst = installPage(*slot, lba, dirty, count, buf);
+    time_sink += inst.latency;
+    fcht_.update(lba, inst.id);
     ++stats_.gcPageCopies;
-    return slot;
+    return inst.id;
 }
 
 bool
@@ -609,13 +722,14 @@ FlashCache::garbageCollect(int region)
         }
     }
     lruErase(reg, victim);
-    eraseBlockTracked(victim, stats_.gcTime);
-    ++stats_.gcErases;
-    reg.freeBlocks.push_back(victim);
+    if (eraseBlockTracked(victim, stats_.gcTime)) {
+        ++stats_.gcErases;
+        reg.freeBlocks.push_back(victim);
+    }
     return true;
 }
 
-void
+bool
 FlashCache::reclaimBlock(std::uint32_t block, bool flush_dirty,
                          Seconds& time_sink)
 {
@@ -630,7 +744,7 @@ FlashCache::reclaimBlock(std::uint32_t block, bool flush_dirty,
             invalidatePage(id, true);
         }
     }
-    eraseBlockTracked(block, time_sink);
+    return eraseBlockTracked(block, time_sink);
 }
 
 bool
@@ -648,8 +762,8 @@ FlashCache::evictBlock(int region)
     FC_SPAN(tracer_, "cache.evict", "cache");
     ++stats_.evictions;
     lruErase(reg, victim);
-    reclaimBlock(victim, true, stats_.evictionTime);
-    reg.freeBlocks.push_back(victim);
+    if (reclaimBlock(victim, true, stats_.evictionTime))
+        reg.freeBlocks.push_back(victim);
     return true;
 }
 
@@ -699,7 +813,12 @@ FlashCache::wearLevelSwap(std::uint32_t victim, std::uint32_t newest)
     ++stats_.wearMigrations;
 
     lruErase(vreg, victim);
-    reclaimBlock(victim, true, stats_.evictionTime);
+    if (!reclaimBlock(victim, true, stats_.evictionTime)) {
+        // The worn victim died on its erase and retired in place;
+        // there is no empty block to migrate into, so leave the
+        // newest block where it is.
+        return;
+    }
 
     // Copy newest's valid pages into the victim block sequentially.
     Region::Cursor cur{victim, 0, 0};
@@ -744,12 +863,21 @@ FlashCache::wearLevelSwap(std::uint32_t victim, std::uint32_t newest)
                     if (e.dirty)
                         ++stats_.dataLossPages;
                 } else if (e.dirty) {
+                    bool wfail = false;
                     const Seconds flat = config_.realData
-                        ? payloadStore_->writeData(e.lba, buf)
-                        : store_->write(e.lba);
+                        ? payloadStore_->writeTagged(e.lba, buf,
+                                                     nextSeq_++, wfail)
+                        : store_->write(e.lba, wfail);
                     FC_LEAF(tracer_, "disk.flush", "disk", flat);
                     stats_.evictionTime += flat;
-                    ++stats_.evictionFlushes;
+                    if (wfail) {
+                        ++stats_.diskFlushFailures;
+                        ++stats_.dataLossPages;
+                        FC_INSTANT(tracer_, "fault.disk_flush_fail",
+                                   "fault");
+                    } else {
+                        ++stats_.evictionFlushes;
+                    }
                 }
                 invalidatePage(id, true);
                 continue;
@@ -759,9 +887,9 @@ FlashCache::wearLevelSwap(std::uint32_t victim, std::uint32_t newest)
             const bool dirty = e.dirty;
             const std::uint8_t count = e.accessCount;
             invalidatePage(id, false);
-            stats_.evictionTime += installPage(dst, lba, dirty, count,
-                                               buf);
-            fcht_.update(lba, dst);
+            const auto inst = installPage(dst, lba, dirty, count, buf);
+            stats_.evictionTime += inst.latency;
+            fcht_.update(lba, inst.id);
             ++stats_.gcPageCopies;
         }
     }
@@ -769,21 +897,33 @@ FlashCache::wearLevelSwap(std::uint32_t victim, std::uint32_t newest)
     // The victim block (now holding the migrated content) joins the
     // newest block's region as the most recently used block.
     lruErase(nreg, newest);
-    eraseBlockTracked(newest, stats_.evictionTime);
+    const bool newest_ok = eraseBlockTracked(newest,
+                                             stats_.evictionTime);
 
-    // One block moves each way, so ownedBlocks is conserved; the
-    // victim's freshly installed pages move to the new owner's
-    // counters (they were accounted under the old region above).
+    // One block moves each way, so ownedBlocks is conserved — unless
+    // the newest block's erase failed, in which case it retired (its
+    // owner already debited inside eraseBlockTracked) and only the
+    // victim changes hands. The victim's freshly installed pages move
+    // to the new owner's counters (they were accounted under the old
+    // region above).
     fbst_[victim].region = static_cast<std::int8_t>(newest_region);
-    fbst_[newest].region = static_cast<std::int8_t>(victim_region);
     if (victim_region != newest_region) {
         vreg.validCount -= fbst_[victim].validPages;
         nreg.validCount += fbst_[victim].validPages;
         vreg.invalidCount -= fbst_[victim].invalidPages;
         nreg.invalidCount += fbst_[victim].invalidPages;
+        --vreg.ownedBlocks;
+        ++nreg.ownedBlocks;
     }
     lruTouch(nreg, victim);
-    vreg.freeBlocks.push_back(newest);
+    if (newest_ok) {
+        fbst_[newest].region = static_cast<std::int8_t>(victim_region);
+        if (victim_region != newest_region) {
+            --nreg.ownedBlocks;
+            ++vreg.ownedBlocks;
+        }
+        vreg.freeBlocks.push_back(newest);
+    }
 }
 
 void
@@ -805,11 +945,13 @@ FlashCache::retireBlock(std::uint32_t block)
         reg.freeBlocks.pop_back();
     }
 
-    reclaimBlock(block, true, stats_.evictionTime);
-    fbst_[block].retired = true;
-    fbst_[block].region = -1;
-    --reg.ownedBlocks;
-    ++stats_.retiredBlocks;
+    if (reclaimBlock(block, true, stats_.evictionTime)) {
+        fbst_[block].retired = true;
+        fbst_[block].region = -1;
+        --reg.ownedBlocks;
+        ++stats_.retiredBlocks;
+    }
+    // else: the erase itself failed and already retired the block.
 }
 
 double
@@ -959,6 +1101,7 @@ FlashCache::readImpl(Lba lba, std::uint8_t* data)
             out.hit = true;
             out.latency = res.latency;
             maybeReconfigure(id, res);
+            drainPendingRetires();
             return out;
         }
 
@@ -999,11 +1142,21 @@ FlashCache::readImpl(Lba lba, std::uint8_t* data)
     // Miss path: fetch from disk and fill the read region.
     stats_.fgst.recordRead(false);
     FC_INSTANT(tracer_, "cache.miss", "cache");
-    const Seconds penalty = data ? payloadStore_->readData(lba, data)
-                                 : store_->read(lba);
+    bool fill_failed = false;
+    const Seconds penalty = data
+        ? payloadStore_->readData(lba, data, fill_failed)
+        : store_->read(lba, fill_failed);
     FC_LEAF(tracer_, "disk.fill", "disk", penalty);
     stats_.fgst.missPenalty.add(penalty);
     out.latency += penalty;
+    if (fill_failed) {
+        // The disk's retries were exhausted; serve the failure up the
+        // stack rather than caching garbage.
+        ++stats_.diskFillFailures;
+        FC_INSTANT(tracer_, "fault.disk_fill_fail", "fault");
+        drainPendingRetires();
+        return out;
+    }
 
     const int fill_region = kRead;
     auto slot = allocateSlot(fill_region, false, false);
@@ -1015,10 +1168,11 @@ FlashCache::readImpl(Lba lba, std::uint8_t* data)
         slot = allocateSlot(fill_region, false, false);
     }
     if (slot) {
-        installPage(*slot, lba, false, 1, data);
-        fcht_.insert(lba, *slot);
+        const auto inst = installPage(*slot, lba, false, 1, data);
+        fcht_.insert(lba, inst.id);
         replenishReserve(fill_region);
     }
+    drainPendingRetires();
     return out;
 }
 
@@ -1098,8 +1252,9 @@ FlashCache::writeImpl(Lba lba, const std::uint8_t* data)
     if (!slot)
         fatal("write region out of space and unreclaimable");
 
-    out.latency += installPage(*slot, lba, true, carried_count, data);
-    fcht_.insert(lba, *slot);
+    const auto inst = installPage(*slot, lba, true, carried_count, data);
+    out.latency += inst.latency;
+    fcht_.insert(lba, inst.id);
 
     // Keep a one-block reserve so the next GC has somewhere to
     // relocate valid pages to (GC itself is still on-demand: it
@@ -1111,6 +1266,7 @@ FlashCache::writeImpl(Lba lba, const std::uint8_t* data)
     if (invalidated_in_read)
         garbageCollectIfUseful(kRead);
 
+    drainPendingRetires();
     return out;
 }
 
@@ -1133,11 +1289,18 @@ FlashCache::flushPage(std::uint64_t id, Seconds& time_sink)
         ++stats_.dataLossPages;
         return false;
     }
+    bool wfail = false;
     const Seconds wlat = config_.realData
-        ? payloadStore_->writeData(e.lba, buf)
-        : store_->write(e.lba);
+        ? payloadStore_->writeTagged(e.lba, buf, nextSeq_++, wfail)
+        : store_->write(e.lba, wfail);
     FC_LEAF(tracer_, "disk.flush", "disk", wlat);
     time_sink += wlat;
+    if (wfail) {
+        ++stats_.diskFlushFailures;
+        ++stats_.dataLossPages;
+        FC_INSTANT(tracer_, "fault.disk_flush_fail", "fault");
+        return false;
+    }
     ++stats_.evictionFlushes;
     return true;
 }
@@ -1154,6 +1317,283 @@ FlashCache::flushAll()
                 invalidatePage(id, true); // unreadable: lost
         }
     }
+    drainPendingRetires();
+}
+
+void
+FlashCache::drainPendingRetires()
+{
+    while (!pendingRetire_.empty()) {
+        const std::uint32_t b = pendingRetire_.back();
+        pendingRetire_.pop_back();
+        // Retirement itself can queue more failures; a block may also
+        // already be gone by the time its turn comes.
+        if (fbst_[b].retired || fbst_[b].region < 0)
+            continue;
+        FC_INSTANT(tracer_, "fault.block_retire", "fault");
+        retireBlock(b);
+    }
+}
+
+void
+FlashCache::recover()
+{
+    if (!config_.realData || !payloadStore_)
+        fatal("recover() requires realData mode (no payloads to scan "
+              "otherwise)");
+    FC_SPAN(tracer_, "cache.recover", "cache");
+    FlashDevice& dev = ctrl_->device();
+    const FlashGeometry& geom = dev.geometry();
+
+    // Forget everything DRAM held: the tables are rebuilt from the
+    // medium alone.
+    fcht_ = Fcht(config_.fchtBuckets);
+    for (Region& reg : regions_) {
+        reg.freeBlocks.clear();
+        lruClear(reg);
+        for (auto& cur : reg.cursor) {
+            cur.block = kNoBlock;
+            cur.frame = 0;
+            cur.sub = 0;
+        }
+        reg.ownedBlocks = 0;
+        reg.validCount = 0;
+        reg.invalidCount = 0;
+    }
+    pendingRetire_.clear();
+    for (std::uint32_t b = 0; b < numBlocks_; ++b) {
+        if (fbst_[b].retired)
+            continue;
+        fbst_[b].validPages = 0;
+        fbst_[b].invalidPages = 0;
+        fbst_[b].totalEcc = 0;
+        fbst_[b].region = -1;
+    }
+
+    // Per-page scan verdicts: 0 = free, 1 = invalid (torn, duplicate,
+    // stale or unreadable), 2 = live.
+    std::vector<std::uint8_t> pstate(fpst_.size(), 0);
+    struct Winner
+    {
+        std::uint64_t id;
+        OobRecord rec;
+    };
+    std::unordered_map<Lba, Winner> winners;
+    std::vector<std::uint64_t> blockMaxSeq(numBlocks_, 0);
+    std::uint64_t maxSeq = 0;
+
+    // Pass 1: read every programmed page's spare area, reject torn
+    // pages by the OOB CRC, and resolve duplicate tags by sequence
+    // number (out-of-place writes leave superseded copies behind).
+    for (std::uint32_t b = 0; b < numBlocks_; ++b) {
+        if (fbst_[b].retired)
+            continue;
+        for (std::uint16_t f = 0; f < framesPerBlock_; ++f) {
+            // An SLC-mode frame (density reconfig / hot migration)
+            // has no second MLC page; addressing sub 1 is a fault.
+            const std::uint8_t nsub =
+                dev.frameMode(b, f) == DensityMode::SLC ? 1 : 2;
+            for (std::uint8_t sub = 0; sub < nsub; ++sub) {
+                const PageAddress addr{b, f, sub};
+                if (!dev.isProgrammed(addr))
+                    continue;
+                ++stats_.recovery.scannedPages;
+                const std::uint64_t id = pageId(addr);
+                const PageBytes pb = dev.pageData(addr);
+                OobRecord rec;
+                if (!pb ||
+                    pb.size < geom.pageDataBytes + geom.pageSpareBytes ||
+                    !parseOobRecord(pb.data + geom.pageDataBytes,
+                                    geom.pageSpareBytes, rec)) {
+                    pstate[id] = 1;
+                    ++stats_.recovery.tornPages;
+                    continue;
+                }
+                maxSeq = std::max(maxSeq, rec.seq);
+                blockMaxSeq[b] = std::max(blockMaxSeq[b], rec.seq);
+                const auto [it, inserted] =
+                    winners.try_emplace(rec.lba, Winner{id, rec});
+                if (!inserted) {
+                    ++stats_.recovery.duplicatePages;
+                    if (rec.seq > it->second.rec.seq) {
+                        pstate[it->second.id] = 1;
+                        it->second = Winner{id, rec};
+                    } else {
+                        pstate[id] = 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // Pass 2: drop copies the backing store has since superseded
+    // (generation tags beat flash sequence numbers), then validate
+    // every survivor through the real ECC pipeline — recovery never
+    // reinstates a page it cannot actually read back.
+    for (auto& [lba, w] : winners) {
+        if (payloadStore_->generation(lba) > w.rec.seq) {
+            pstate[w.id] = 1;
+            ++stats_.recovery.stalePages;
+            continue;
+        }
+        const PageAddress addr = addressOf(w.id);
+        PageDescriptor desc;
+        desc.eccStrength = static_cast<std::uint8_t>(
+            std::min<unsigned>(w.rec.eccStrength,
+                               config_.maxEccStrength));
+        desc.mode = dev.frameMode(addr.block, addr.frame);
+        const auto res = readWithRetry(addr, desc, pageBuf_.data());
+        stats_.recovery.scanTime += res.latency;
+        if (res.status == ReadStatus::Uncorrectable) {
+            ++stats_.uncorrectableReads;
+            ++stats_.recovery.uncorrectablePages;
+            pstate[w.id] = 1;
+            continue;
+        }
+        pstate[w.id] = 2;
+    }
+
+    // Pass 3a: rebuild the FPST (modes come from the device, live
+    // entries from the winning OOB records) and the per-block counts.
+    for (std::uint32_t b = 0; b < numBlocks_; ++b) {
+        if (fbst_[b].retired)
+            continue;
+        std::uint16_t slc = 0;
+        std::uint16_t nvalid = 0, ninvalid = 0;
+        for (std::uint16_t f = 0; f < framesPerBlock_; ++f) {
+            const DensityMode m = dev.frameMode(b, f);
+            if (m == DensityMode::SLC)
+                ++slc;
+            for (std::uint8_t sub = 0; sub < 2; ++sub) {
+                const std::uint64_t id = pageId({b, f, sub});
+                FpstEntry& e = fpst_[id];
+                e.mode = m;
+                e.lba = kInvalidLba;
+                e.dirty = false;
+                e.accessCount = 0;
+                e.eccStrength = config_.initialEccStrength;
+                if (pstate[id] == 2) {
+                    e.state = PageState::Valid;
+                    ++nvalid;
+                } else if (pstate[id] == 1) {
+                    e.state = PageState::Invalid;
+                    ++ninvalid;
+                } else {
+                    e.state = PageState::Free;
+                }
+            }
+        }
+        fbst_[b].slcFrames = slc;
+        fbst_[b].validPages = nvalid;
+        fbst_[b].invalidPages = ninvalid;
+    }
+    for (const auto& [lba, w] : winners) {
+        if (pstate[w.id] != 2)
+            continue;
+        FpstEntry& e = fpst_[w.id];
+        e.lba = lba;
+        e.dirty = w.rec.dirty; // conservative: dirty stays dirty
+        e.accessCount = 1;
+        e.eccStrength = static_cast<std::uint8_t>(
+            std::min<unsigned>(w.rec.eccStrength,
+                               config_.maxEccStrength));
+        fbst_[blockOf(w.id)].totalEcc += e.eccStrength >
+            config_.initialEccStrength
+            ? e.eccStrength - config_.initialEccStrength : 0;
+        fcht_.insert(lba, w.id);
+        ++stats_.recovery.recoveredPages;
+        if (e.dirty)
+            ++stats_.recovery.recoveredDirty;
+    }
+
+    // Pass 3b: region membership. Live blocks keep the region their
+    // newest page was written under; empty blocks refill toward the
+    // configured split ratio.
+    std::uint32_t usable = 0;
+    for (std::uint32_t b = 0; b < numBlocks_; ++b) {
+        if (!fbst_[b].retired)
+            ++usable;
+    }
+    const std::uint32_t read_target = config_.splitRegions
+        ? std::clamp<std::uint32_t>(
+              static_cast<std::uint32_t>(std::lround(
+                  config_.readRegionFraction * usable)),
+              2, usable >= 4 ? usable - 2 : 2)
+        : usable;
+
+    struct LiveBlock
+    {
+        std::uint64_t seq;
+        std::uint32_t block;
+    };
+    std::vector<LiveBlock> live;
+    std::vector<std::uint32_t> garbage, clean;
+    for (std::uint32_t b = 0; b < numBlocks_; ++b) {
+        const FbstEntry& fb = fbst_[b];
+        if (fb.retired)
+            continue;
+        if (fb.validPages > 0) {
+            int r = kRead;
+            if (config_.splitRegions) {
+                std::uint64_t best = 0;
+                for (std::uint16_t f = 0; f < framesPerBlock_; ++f) {
+                    for (std::uint8_t sub = 0; sub < 2; ++sub) {
+                        const std::uint64_t id = pageId({b, f, sub});
+                        if (pstate[id] != 2)
+                            continue;
+                        const auto& w =
+                            winners.at(fpst_[id].lba);
+                        if (w.rec.seq >= best) {
+                            best = w.rec.seq;
+                            r = w.rec.region ? kWrite : kRead;
+                        }
+                    }
+                }
+            }
+            fbst_[b].region = static_cast<std::int8_t>(r);
+            ++regions_[r].ownedBlocks;
+            regions_[r].validCount += fb.validPages;
+            regions_[r].invalidCount += fb.invalidPages;
+            live.push_back({blockMaxSeq[b], b});
+        } else if (fb.invalidPages > 0) {
+            garbage.push_back(b);
+        } else {
+            clean.push_back(b);
+        }
+    }
+    auto refillRegion = [&](std::uint32_t) {
+        if (!config_.splitRegions)
+            return kRead;
+        return regions_[kRead].ownedBlocks < read_target ? kRead
+                                                         : kWrite;
+    };
+    for (const std::uint32_t b : garbage) {
+        const int r = refillRegion(b);
+        fbst_[b].region = static_cast<std::int8_t>(r);
+        ++regions_[r].ownedBlocks;
+        regions_[r].invalidCount += fbst_[b].invalidPages;
+        ++stats_.recovery.erasedBlocks;
+        if (eraseBlockTracked(b, stats_.recovery.scanTime))
+            regions_[r].freeBlocks.push_back(b);
+    }
+    for (const std::uint32_t b : clean) {
+        const int r = refillRegion(b);
+        fbst_[b].region = static_cast<std::int8_t>(r);
+        ++regions_[r].ownedBlocks;
+        regions_[r].freeBlocks.push_back(b);
+    }
+
+    // Oldest-first LRU insertion: program sequence numbers double as
+    // a recency proxy, so the hottest blocks end up most recent.
+    std::sort(live.begin(), live.end(),
+              [](const LiveBlock& a, const LiveBlock& b) {
+                  return a.seq < b.seq;
+              });
+    for (const LiveBlock& lb : live)
+        lruTouch(regions_[regionOf(lb.block)], lb.block);
+
+    nextSeq_ = std::max(maxSeq, payloadStore_->maxGeneration()) + 1;
+    checkInvariants();
 }
 
 std::uint64_t
@@ -1300,7 +1740,7 @@ FlashCache::checkInvariants() const
 void
 FlashCache::saveState(std::ostream& os) const
 {
-    putMagic(os, "FCCHE001");
+    putMagic(os, "FCCHE002");
     putScalar<std::uint32_t>(os, numBlocks_);
     putScalar<std::uint32_t>(os, framesPerBlock_);
     putScalar<std::uint8_t>(os, config_.splitRegions ? 1 : 0);
@@ -1336,12 +1776,13 @@ FlashCache::saveState(std::ostream& os) const
         putScalar<std::uint64_t>(os, reg.invalidCount);
     }
     putScalar<std::uint64_t>(os, windowReads_);
+    putScalar<std::uint64_t>(os, nextSeq_);
 }
 
 void
 FlashCache::loadState(std::istream& is)
 {
-    expectMagic(is, "FCCHE001");
+    expectMagic(is, "FCCHE002");
     if (getScalar<std::uint32_t>(is) != numBlocks_ ||
         getScalar<std::uint32_t>(is) != framesPerBlock_) {
         fatal("cache state file geometry mismatch");
@@ -1384,6 +1825,7 @@ FlashCache::loadState(std::istream& is)
         reg.invalidCount = getScalar<std::uint64_t>(is);
     }
     windowReads_ = getScalar<std::uint64_t>(is);
+    nextSeq_ = getScalar<std::uint64_t>(is);
 
     // The FCHT is derived state: rebuild it from the FPST.
     fcht_ = Fcht(config_.fchtBuckets);

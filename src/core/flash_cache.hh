@@ -154,6 +154,29 @@ struct FlashCacheStats
     /** Transient-error re-reads the driver issued (section 4.1). */
     std::uint64_t eccRetryReads = 0;
 
+    /// @name Degraded-mode event counts (fault.* metrics): how the
+    /// cache absorbed injected medium/disk failures.
+    /// @{
+    std::uint64_t programFailReprograms = 0; ///< re-programs after status fail
+    std::uint64_t eraseFailRetirements = 0;  ///< blocks retired by erase fail
+    std::uint64_t diskFillFailures = 0;  ///< miss fills abandoned (disk fault)
+    std::uint64_t diskFlushFailures = 0; ///< dirty flushes lost to disk fault
+    /// @}
+
+    /** Crash-recovery scan results (recovery.* metrics). */
+    struct RecoveryStats
+    {
+        std::uint64_t scannedPages = 0;   ///< programmed pages examined
+        std::uint64_t tornPages = 0;      ///< OOB CRC rejects (torn/partial)
+        std::uint64_t duplicatePages = 0; ///< older copies of a duplicate tag
+        std::uint64_t stalePages = 0;     ///< dropped by disk generation tag
+        std::uint64_t uncorrectablePages = 0; ///< failed validation read
+        std::uint64_t recoveredPages = 0; ///< live pages reinstated
+        std::uint64_t recoveredDirty = 0; ///< of those, still dirty
+        std::uint64_t erasedBlocks = 0;   ///< garbage blocks erased in-scan
+        Seconds scanTime = 0.0;           ///< simulated scan/validate time
+    } recovery;
+
     /// @name Diagnostics for the reconfiguration policy: the access
     /// frequency of faulting pages and the two heuristic costs.
     /// @{
@@ -196,6 +219,21 @@ class FlashCache
 
     /** Write every dirty page back to the disk. */
     void flushAll();
+
+    /**
+     * Rebuild every DRAM table from the medium after an uncontrolled
+     * shutdown (power cut). Call on a freshly constructed cache whose
+     * device holds the post-crash contents: scans every programmed
+     * page, parses the self-describing OOB records, discards torn
+     * pages by CRC, resolves duplicate LBAs by sequence number,
+     * drops copies the backing store has since superseded (generation
+     * tags), validates survivors through the ECC pipeline, and
+     * rebuilds FCHT/FPST/FBST/region membership. Recovered dirty
+     * pages stay dirty (conservative: they will be flushed, never
+     * silently dropped). Requires realData mode — the modeled path
+     * stores no bytes to scan.
+     */
+    void recover();
 
     const FlashCacheStats& stats() const { return stats_; }
     const FlashCacheConfig& config() const { return config_; }
@@ -336,11 +374,22 @@ class FlashCache
     std::optional<std::uint32_t> takeFreeBlock(int region, bool want_slc,
                                                bool background);
 
+    /** Outcome of installPage: where the page actually landed (a
+     *  program-status failure re-programs on a fresh slot). */
+    struct InstallResult
+    {
+        std::uint64_t id = 0;
+        Seconds latency = 0.0;
+    };
+
     /** Program a new valid page and wire up all tables; `data`
-     *  (real-data mode) routes through the real encoder. */
-    Seconds installPage(std::uint64_t id, Lba lba, bool dirty,
-                        std::uint8_t access_count,
-                        const std::uint8_t* data = nullptr);
+     *  (real-data mode) routes through the real encoder. On a
+     *  program-status failure the slot is marked invalid, the block
+     *  queued for retirement, and the program retried on a fresh
+     *  slot — the returned id is where the page finally landed. */
+    InstallResult installPage(std::uint64_t id, Lba lba, bool dirty,
+                              std::uint8_t access_count,
+                              const std::uint8_t* data = nullptr);
 
     /** Mark a valid page invalid (out-of-place supersede). */
     void invalidatePage(std::uint64_t id, bool drop_mapping);
@@ -367,16 +416,25 @@ class FlashCache
     /** Keep a one-block reserve so GC relocation never starves. */
     void replenishReserve(int region);
 
-    /** Flush or drop every valid page of a block, then erase it. */
-    void reclaimBlock(std::uint32_t block, bool flush_dirty,
+    /** Flush or drop every valid page of a block, then erase it.
+     *  @return false when the erase failed (block retired). */
+    bool reclaimBlock(std::uint32_t block, bool flush_dirty,
                       Seconds& time_sink);
 
     /** Read a dirty page back and persist it to the backing store.
-     *  @return false when the copy was unreadable (data loss). */
+     *  @return false when the copy was unreadable or the disk write
+     *  failed (data loss). */
     bool flushPage(std::uint64_t id, Seconds& time_sink);
 
-    /** Erase + bookkeeping. */
-    void eraseBlockTracked(std::uint32_t block, Seconds& time_sink);
+    /** Erase + bookkeeping. On an erase failure the block is retired
+     *  in place (region capacity shrinks) and false is returned —
+     *  callers must not hand it to a free list. */
+    bool eraseBlockTracked(std::uint32_t block, Seconds& time_sink);
+
+    /** Retire blocks queued by program-status failures; runs at the
+     *  end of public entry points so retirement (which itself
+     *  relocates pages) never reenters a half-done install. */
+    void drainPendingRetires();
 
     /** Read a page, re-reading once when a transient error spike
      *  (not persistent wear) made the first attempt uncorrectable.
@@ -455,6 +513,14 @@ class FlashCache
     obs::Tracer* tracer_ = nullptr;
     std::uint64_t readsSinceAging_ = 0;
     std::uint64_t windowReads_ = 0;
+
+    /** Global program sequence number stamped into every OOB record;
+     *  strictly increasing across installs and flush generations. */
+    std::uint64_t nextSeq_ = 1;
+
+    /** Blocks awaiting retirement after a program-status failure
+     *  (drained at the end of the public entry points). */
+    std::vector<std::uint32_t> pendingRetire_;
 };
 
 } // namespace flashcache

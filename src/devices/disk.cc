@@ -1,5 +1,6 @@
 #include "devices/disk.hh"
 
+#include "fault/fault_injector.hh"
 #include "obs/metrics.hh"
 
 namespace flashcache {
@@ -14,6 +15,10 @@ DiskModel::registerMetrics(obs::MetricRegistry& reg) const
 {
     reg.counter("disk.accesses", "disk accesses", &accesses_);
     reg.counter("disk.busy", "disk busy seconds", &busy_);
+    reg.counter("disk.retries", "latent-sector-error retries", &retries_);
+    reg.counter("disk.hard_failures",
+                "accesses failed after exhausting retries",
+                &hardFailures_);
 }
 
 Seconds
@@ -32,6 +37,32 @@ DiskModel::access(Lba lba, bool sequential)
     ++accesses_;
     busy_ += lat;
     return lat;
+}
+
+DiskModel::AccessResult
+DiskModel::accessChecked(Lba lba, bool sequential)
+{
+    AccessResult res;
+    res.latency = access(lba, sequential);
+    if (!fault_ || !fault_->onDiskAttempt())
+        return res;
+
+    // Latent-sector error: firmware retries with repositioning, each
+    // attempt a fresh full seek (no sequential shortcut).
+    const unsigned budget = fault_->diskMaxRetries();
+    while (res.retries < budget) {
+        ++res.retries;
+        ++retries_;
+        const Seconds retry_lat =
+            spec_.avgAccessLatency * rng_.uniform(0.5, 1.5);
+        res.latency += retry_lat;
+        busy_ += retry_lat;
+        if (!fault_->onDiskAttempt())
+            return res;
+    }
+    res.failed = true;
+    ++hardFailures_;
+    return res;
 }
 
 Joules

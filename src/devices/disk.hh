@@ -20,6 +20,8 @@
 
 namespace flashcache {
 
+class FaultInjector;
+
 namespace obs {
 class MetricRegistry;
 } // namespace obs
@@ -30,6 +32,15 @@ class MetricRegistry;
 class DiskModel
 {
   public:
+    /** Outcome of one access through the latent-error retry path. */
+    struct AccessResult
+    {
+        Seconds latency = 0.0;
+        /** Latent-sector error survived every retry. */
+        bool failed = false;
+        unsigned retries = 0;
+    };
+
     explicit DiskModel(const DiskSpec& spec = DiskSpec(),
                        std::uint64_t seed = 1);
 
@@ -42,6 +53,19 @@ class DiskModel
      * @return access latency.
      */
     Seconds access(Lba lba, bool sequential);
+
+    /**
+     * Access with latent-sector-error semantics: with a fault
+     * injector attached, each attempt may fail; failed attempts are
+     * retried with a fresh full-seek latency (firmware re-read with
+     * repositioning) up to the plan's retry budget, after which the
+     * access is reported failed. Without an injector this is exactly
+     * access().
+     */
+    AccessResult accessChecked(Lba lba, bool sequential);
+
+    /** Attach (or detach with nullptr) a fault injector. Not owned. */
+    void attachFaultInjector(FaultInjector* fault) { fault_ = fault; }
 
     std::uint64_t accesses() const { return accesses_; }
     Seconds busyTime() const { return busy_; }
@@ -65,6 +89,9 @@ class DiskModel
     Lba lastLba_ = 0;
     std::uint64_t accesses_ = 0;
     Seconds busy_ = 0.0;
+    std::uint64_t retries_ = 0;
+    std::uint64_t hardFailures_ = 0;
+    FaultInjector* fault_ = nullptr;
 };
 
 } // namespace flashcache

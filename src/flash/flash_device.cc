@@ -4,6 +4,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "fault/fault_injector.hh"
 #include "obs/metrics.hh"
 #include "reliability/page_health.hh"
 #include "util/log.hh"
@@ -25,6 +26,7 @@ FlashDevice::FlashDevice(const FlashGeometry& geometry,
     frames_.resize(nframes);
     blockErases_.assign(geom_.numBlocks, 0);
     programmed_.assign(nframes * 2, false);
+    torn_.assign(nframes * 2, false);
 
     if (storeData_) {
         slotBytes_ = static_cast<std::size_t>(geom_.pageDataBytes) +
@@ -149,13 +151,23 @@ FlashDevice::ReadResult
 FlashDevice::readPage(const PageAddress& addr)
 {
     validate(addr);
-    if (!programmed_[linearPage(addr)])
+    const std::size_t lp = linearPage(addr);
+    if (!programmed_[lp])
         panic("read of unprogrammed flash page");
     const auto& fs = frameAt(addr.block, addr.frame);
     ReadResult res;
     res.latency = fs.mode == DensityMode::SLC ? timing_.slcReadLatency
                                               : timing_.mlcReadLatency;
     res.hardBitErrors = hardErrorsOf(fs, addr.block, addr.frame, fs.mode);
+    if (torn_[lp]) {
+        // An interrupted program leaves cells at indeterminate levels;
+        // report errors far beyond any ECC strength.
+        res.hardBitErrors += kTornPageBitErrors;
+    }
+    if (fault_) {
+        fault_->opStart();
+        res.hardBitErrors += fault_->onRead();
+    }
     if (softErrorRate_ > 0.0) {
         // Transient read-disturb/retention flips; MLC's narrower
         // sensing margins double the exposure.
@@ -175,7 +187,30 @@ FlashDevice::setSoftErrorRate(double rate_per_bit_read)
     softErrorRate_ = rate_per_bit_read;
 }
 
-Seconds
+void
+FlashDevice::writeTornPayload(std::size_t lp, const std::uint8_t* data,
+                              const std::uint8_t* spare, std::size_t nbytes)
+{
+    if (!storeData_ || !data)
+        return;
+    // Zero the whole slot first: the arena may still hold bytes from
+    // a previous life of this page (erase only clears dataLen_), and
+    // a stale-but-valid OOB record must never shine through a torn
+    // page during recovery.
+    std::uint8_t* const dst = &arena_[lp * slotBytes_];
+    std::memset(dst, 0, slotBytes_);
+    const std::size_t dlen = std::min<std::size_t>(nbytes,
+                                                   geom_.pageDataBytes);
+    std::memcpy(dst, data, dlen);
+    if (spare && nbytes > geom_.pageDataBytes) {
+        std::memcpy(dst + geom_.pageDataBytes, spare,
+                    nbytes - geom_.pageDataBytes);
+    }
+    dataLen_[lp] = geom_.pageDataBytes +
+        (spare ? geom_.pageSpareBytes : 0u);
+}
+
+FlashDevice::ProgramResult
 FlashDevice::programPage(const PageAddress& addr, const std::uint8_t* data,
                          const std::uint8_t* spare)
 {
@@ -183,11 +218,46 @@ FlashDevice::programPage(const PageAddress& addr, const std::uint8_t* data,
     const std::size_t lp = linearPage(addr);
     if (programmed_[lp])
         panic("program of already-programmed page without erase");
-    programmed_[lp] = true;
 
     const auto& fs = frameAt(addr.block, addr.frame);
     const Seconds lat = fs.mode == DensityMode::SLC
         ? timing_.slcWriteLatency : timing_.mlcWriteLatency;
+
+    ProgramFault pf = ProgramFault::None;
+    if (fault_) {
+        fault_->opStart();
+        pf = fault_->onProgram();
+    }
+
+    const std::size_t full = static_cast<std::size_t>(geom_.pageDataBytes) +
+        (spare ? geom_.pageSpareBytes : 0u);
+
+    if (pf == ProgramFault::PowerCut) {
+        // Power died mid-pulse: the page is occupied but holds only a
+        // prefix of the payload. Persist the torn state, then deliver
+        // the cut; the in-DRAM cache above is abandoned by the
+        // harness, exactly as a real cut would lose it.
+        programmed_[lp] = true;
+        torn_[lp] = true;
+        writeTornPayload(lp, data, spare, fault_->tornBytes(full));
+        fault_->noteTornPage();
+        ++stats_.programs;
+        account(lat);
+        throw PowerLossException{};
+    }
+
+    programmed_[lp] = true;
+    if (pf == ProgramFault::StatusFail) {
+        // The chip's status read reports failure; cell contents are
+        // unreliable garbage. The layer above must re-program
+        // elsewhere and retire the block.
+        torn_[lp] = true;
+        writeTornPayload(lp, data, spare, fault_->tornBytes(full));
+        fault_->noteTornPage();
+        ++stats_.programs;
+        account(lat);
+        return {lat, true};
+    }
 
     if (storeData_ && data) {
         std::uint8_t* const dst = &arena_[lp * slotBytes_];
@@ -202,16 +272,32 @@ FlashDevice::programPage(const PageAddress& addr, const std::uint8_t* data,
     }
     ++stats_.programs;
     account(lat);
-    return lat;
+    return {lat, false};
 }
 
-Seconds
+FlashDevice::EraseResult
 FlashDevice::eraseBlock(std::uint32_t block)
 {
     if (block >= geom_.numBlocks)
         panic("erase of out-of-range block");
     if (factoryBad_[block])
         panic("erase of a factory bad block");
+
+    if (fault_) {
+        fault_->opStart();
+        if (fault_->onErase()) {
+            // Erase verify failed. The block still took the wear of
+            // the attempted pulse, but old contents and programmed
+            // flags persist; the layer above must retire the block.
+            for (std::uint16_t f = 0; f < geom_.framesPerBlock; ++f)
+                frameAt(block, f).damage += 1.0f;
+            const Seconds flat = timing_.mlcEraseLatency;
+            ++stats_.erases;
+            account(flat);
+            return {flat, true};
+        }
+    }
+
     bool any_mlc = false;
     for (std::uint16_t f = 0; f < geom_.framesPerBlock; ++f) {
         FrameState& fs = frameAt(block, f);
@@ -228,13 +314,15 @@ FlashDevice::eraseBlock(std::uint32_t block)
         }
         programmed_[base] = false;
         programmed_[base + 1] = false;
+        torn_[base] = false;
+        torn_[base + 1] = false;
     }
     ++blockErases_[block];
     const Seconds lat = any_mlc ? timing_.mlcEraseLatency
                                 : timing_.slcEraseLatency;
     ++stats_.erases;
     account(lat);
-    return lat;
+    return {lat, false};
 }
 
 DensityMode
@@ -275,6 +363,13 @@ FlashDevice::isProgrammed(const PageAddress& addr) const
 {
     validate(addr);
     return programmed_[linearPage(addr)];
+}
+
+bool
+FlashDevice::isTorn(const PageAddress& addr) const
+{
+    validate(addr);
+    return torn_[linearPage(addr)];
 }
 
 PageBytes
@@ -363,6 +458,9 @@ FlashDevice::loadState(std::istream& is)
         for (std::size_t b = 0; b < 8 && i + b < programmed_.size(); ++b)
             programmed_[i + b] = (byte >> b) & 1;
     }
+    // Snapshots are cooperative (no mid-program cut can be captured),
+    // so any torn marks belong to the pre-load life of this device.
+    std::fill(torn_.begin(), torn_.end(), false);
 
     std::fill(dataLen_.begin(), dataLen_.end(), 0);
     const auto npages = getScalar<std::uint64_t>(is);

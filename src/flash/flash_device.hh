@@ -27,6 +27,8 @@
 
 namespace flashcache {
 
+class FaultInjector;
+
 namespace obs {
 class MetricRegistry;
 } // namespace obs
@@ -62,6 +64,22 @@ class FlashDevice
         Seconds latency = 0.0;
         /** Permanent bad bits the ECC layer must deal with. */
         unsigned hardBitErrors = 0;
+    };
+
+    /** Result of a page program (status read after the pulse). */
+    struct ProgramResult
+    {
+        Seconds latency = 0.0;
+        /** Chip reported program-status failure; page is garbage. */
+        bool failed = false;
+    };
+
+    /** Result of a block erase. */
+    struct EraseResult
+    {
+        Seconds latency = 0.0;
+        /** Erase verify failed; old contents may persist. */
+        bool failed = false;
     };
 
     /**
@@ -110,14 +128,32 @@ class FlashDevice
      * Program an erased page. Optional payload is retained only when
      * store_data was requested.
      *
-     * @return Program latency.
+     * With a fault injector attached this may report a program-status
+     * failure (the page is marked programmed but holds garbage) or
+     * throw PowerLossException mid-program, leaving a torn page: only
+     * a prefix of data||spare reaches the medium.
      */
-    Seconds programPage(const PageAddress& addr,
-                        const std::uint8_t* data = nullptr,
-                        const std::uint8_t* spare = nullptr);
+    ProgramResult programPage(const PageAddress& addr,
+                              const std::uint8_t* data = nullptr,
+                              const std::uint8_t* spare = nullptr);
 
-    /** Erase a whole block; applies pending density-mode changes. */
-    Seconds eraseBlock(std::uint32_t block);
+    /**
+     * Erase a whole block; applies pending density-mode changes. An
+     * injected erase failure leaves the old contents (and programmed
+     * flags) in place — the block must be retired by the layer above.
+     */
+    EraseResult eraseBlock(std::uint32_t block);
+
+    /**
+     * Attach (or detach with nullptr) a fault injector. Not owned;
+     * must outlive the device or be detached first.
+     */
+    void attachFaultInjector(FaultInjector* fault) { fault_ = fault; }
+
+    FaultInjector* faultInjector() const { return fault_; }
+
+    /** Page left torn by a mid-program power cut or status failure. */
+    bool isTorn(const PageAddress& addr) const;
 
     /** Current operating mode of a frame. */
     DensityMode frameMode(std::uint32_t block, std::uint16_t frame) const;
@@ -196,6 +232,10 @@ class FlashDevice
     void validate(const PageAddress& addr) const;
     void account(Seconds latency);
 
+    /** Zero the page's arena slot and persist a torn payload prefix. */
+    void writeTornPayload(std::size_t lp, const std::uint8_t* data,
+                          const std::uint8_t* spare, std::size_t nbytes);
+
     FlashGeometry geom_;
     FlashTiming timing_;
     const CellLifetimeModel* lifetime_;
@@ -206,7 +246,10 @@ class FlashDevice
     std::vector<FrameState> frames_;
     std::vector<std::uint32_t> blockErases_;
     std::vector<bool> programmed_;
+    std::vector<bool> torn_; ///< incompletely programmed pages
     std::vector<bool> factoryBad_;
+
+    FaultInjector* fault_ = nullptr;
 
     /// @name Retained payloads (store_data mode): one flat arena
     /// sized at construction — a fixed slot of data+spare bytes per
@@ -224,6 +267,10 @@ class FlashDevice
 
     /** Weak cells tracked per frame (max ECC strength + margin). */
     static constexpr unsigned kTrackedCells = 16;
+
+    /** Bit errors reported for a torn page: far beyond any ECC
+     *  strength, yet small enough for physical injection loops. */
+    static constexpr unsigned kTornPageBitErrors = 64;
 };
 
 } // namespace flashcache

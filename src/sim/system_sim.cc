@@ -1,9 +1,11 @@
 #include "sim/system_sim.hh"
 
 #include <algorithm>
+#include <fstream>
 #include <ostream>
 
 #include "obs/trace.hh"
+#include "util/atomic_file.hh"
 #include "util/log.hh"
 
 namespace flashcache {
@@ -31,6 +33,22 @@ class DiskBackingStore : public BackingStore
         return disk_->access(lba, false);
     }
 
+    Seconds
+    read(Lba lba, bool& failed) override
+    {
+        const auto res = disk_->accessChecked(lba, false);
+        failed = res.failed;
+        return res.latency;
+    }
+
+    Seconds
+    write(Lba lba, bool& failed) override
+    {
+        const auto res = disk_->accessChecked(lba, false);
+        failed = res.failed;
+        return res.latency;
+    }
+
   private:
     DiskModel* disk_;
 };
@@ -54,12 +72,19 @@ SystemSimulator::SystemSimulator(const SystemConfig& config)
     pdcLru_.reserve(pdcCapacityPages_ + 1);
     pdcDirtyLru_.reserve(pdcDirtyLimit_ + config.writebackBatch);
 
+    if (config.faultPlan) {
+        fault_ = std::make_unique<FaultInjector>(*config.faultPlan);
+        disk_.attachFaultInjector(fault_.get());
+    }
+
     if (config.flashBytes > 0) {
         lifetime_ = std::make_unique<CellLifetimeModel>(config.wear);
         const auto geom = FlashGeometry::forMlcCapacity(config.flashBytes);
         flash_ = std::make_unique<FlashDevice>(geom, config.flashTiming,
                                                *lifetime_,
                                                config.seed * 31 + 5);
+        if (fault_)
+            flash_->attachFaultInjector(fault_.get());
         controller_ = std::make_unique<FlashMemoryController>(*flash_);
         diskStore_ = std::make_unique<DiskBackingStore>(disk_);
 
@@ -107,6 +132,8 @@ SystemSimulator::registerAllMetrics()
         cache_->registerMetrics(registry_);
         controller_->registerMetrics(registry_);
     }
+    if (fault_)
+        fault_->registerMetrics(registry_);
 
     registry_.gauge("power.mem_read", "W",
                     [this] { return powerReport().memRead; });
@@ -268,6 +295,34 @@ SystemSimulator::powerReport() const
     return p;
 }
 
+
+bool
+SystemSimulator::saveFlashState(const std::string& prefix) const
+{
+    if (!cache_)
+        fatal("saveFlashState requires a flash cache");
+    return atomicWriteFile(prefix + ".dev",
+                           [this](std::ostream& os) {
+                               flash_->saveState(os);
+                           }) &&
+        atomicWriteFile(prefix + ".cache", [this](std::ostream& os) {
+            cache_->saveState(os);
+        });
+}
+
+bool
+SystemSimulator::loadFlashState(const std::string& prefix)
+{
+    if (!cache_)
+        fatal("loadFlashState requires a flash cache");
+    std::ifstream dev(prefix + ".dev", std::ios::binary);
+    std::ifstream cache(prefix + ".cache", std::ios::binary);
+    if (!dev || !cache)
+        return false;
+    flash_->loadState(dev);
+    cache_->loadState(cache);
+    return dev.good() && cache.good();
+}
 
 void
 SystemSimulator::writeStatsJson(std::ostream& os) const

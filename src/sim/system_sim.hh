@@ -22,11 +22,13 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "core/flash_cache.hh"
 #include "core/lru.hh"
 #include "devices/disk.hh"
 #include "devices/dram.hh"
+#include "fault/fault_injector.hh"
 #include "obs/metrics.hh"
 #include "sim/power_report.hh"
 #include "util/stats.hh"
@@ -77,6 +79,10 @@ struct SystemConfig
     FlashTiming flashTiming;
     DramSpec dramSpec;
     DiskSpec diskSpec;
+
+    /** Fault plan; when set an injector is created and attached to
+     *  the flash device and the disk (fault.* metrics register). */
+    std::optional<FaultPlan> faultPlan;
 
     std::uint64_t seed = 1;
 };
@@ -150,6 +156,17 @@ class SystemSimulator
     const FlashCache* flashCache() const { return cache_.get(); }
     FlashCache* flashCache() { return cache_.get(); }
 
+    /** The fault injector, or nullptr when no plan was configured. */
+    FaultInjector* faultInjector() const { return fault_.get(); }
+
+    /// @name Flash-stack snapshots (<prefix>.dev + <prefix>.cache),
+    /// written atomically (temp file + rename) so an interrupted save
+    /// never corrupts the previous snapshot. Requires flashBytes > 0.
+    /// @{
+    bool saveFlashState(const std::string& prefix) const;
+    bool loadFlashState(const std::string& prefix);
+    /// @}
+
     const DiskModel& disk() const { return disk_; }
     const DramModel& dram() const { return dram_; }
     const SystemConfig& config() const { return config_; }
@@ -187,6 +204,9 @@ class SystemSimulator
     KeyedLru<Lba> pdcDirtyLru_;
     std::uint64_t pdcCapacityPages_;
     std::uint64_t pdcDirtyLimit_;
+
+    /** Fault injection (optional, shared by flash and disk). */
+    std::unique_ptr<FaultInjector> fault_;
 
     /** Flash stack (optional). */
     std::unique_ptr<CellLifetimeModel> lifetime_;

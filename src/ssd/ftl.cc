@@ -131,7 +131,11 @@ FlashTranslationLayer::programInto(std::uint64_t phys, Lba lba)
     PageDescriptor desc;
     desc.eccStrength = eccStrength_;
     desc.mode = DensityMode::MLC;
-    stats_.busyTime += ctrl_->writePage(addressOf(phys), desc);
+    const auto prog = ctrl_->writePage(addressOf(phys), desc);
+    if (prog.failed)
+        panic("FTL baseline has no bad-block handling (attach the "
+              "fault injector to the cache stack instead)");
+    stats_.busyTime += prog.latency;
     state_[phys] = 1;
     owner_[phys] = lba;
     map_[lba] = phys;
@@ -185,7 +189,11 @@ FlashTranslationLayer::garbageCollect()
         }
     }
     // Erase and return to the free pool.
-    stats_.busyTime += ctrl_->eraseBlock(victim);
+    const auto er = ctrl_->eraseBlock(victim);
+    if (er.failed)
+        panic("FTL baseline has no bad-block handling (attach the "
+              "fault injector to the cache stack instead)");
+    stats_.busyTime += er.latency;
     ++stats_.gcErases;
     for (std::uint16_t f = 0; f < framesPerBlock_; ++f) {
         for (std::uint8_t sub = 0; sub < 2; ++sub) {

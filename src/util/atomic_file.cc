@@ -1,0 +1,32 @@
+#include "util/atomic_file.hh"
+
+#include <cstdio>
+#include <fstream>
+
+namespace flashcache {
+
+bool
+atomicWriteFile(const std::string& path,
+                const std::function<void(std::ostream&)>& writer)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os)
+            return false;
+        writer(os);
+        os.flush();
+        if (!os) {
+            os.close();
+            std::remove(tmp.c_str());
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace flashcache

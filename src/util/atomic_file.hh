@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Crash-safe file replacement: write to a temporary sibling, then
+ * rename over the target. A power cut or error mid-write leaves the
+ * previous file contents intact — state snapshots are either the old
+ * version or the complete new one, never a torn mix.
+ */
+
+#ifndef FLASHCACHE_UTIL_ATOMIC_FILE_HH
+#define FLASHCACHE_UTIL_ATOMIC_FILE_HH
+
+#include <functional>
+#include <ostream>
+#include <string>
+
+namespace flashcache {
+
+/**
+ * Atomically replace `path`: `writer` streams the new contents into a
+ * temporary file next to it, which is renamed over `path` only when
+ * every write succeeded. On failure the temporary is removed and the
+ * original file is untouched.
+ *
+ * @return true when the new contents are durably in place.
+ */
+bool atomicWriteFile(const std::string& path,
+                     const std::function<void(std::ostream&)>& writer);
+
+} // namespace flashcache
+
+#endif // FLASHCACHE_UTIL_ATOMIC_FILE_HH

@@ -100,17 +100,19 @@ TEST_F(FlashDeviceTest, LatenciesFollowDensityMode)
 {
     const FlashTiming t;
     // MLC (default) timings.
-    EXPECT_DOUBLE_EQ(dev_.programPage({0, 0, 0}), t.mlcWriteLatency);
+    EXPECT_DOUBLE_EQ(dev_.programPage({0, 0, 0}).latency,
+                     t.mlcWriteLatency);
     EXPECT_DOUBLE_EQ(dev_.readPage({0, 0, 0}).latency, t.mlcReadLatency);
-    EXPECT_DOUBLE_EQ(dev_.eraseBlock(0), t.mlcEraseLatency);
+    EXPECT_DOUBLE_EQ(dev_.eraseBlock(0).latency, t.mlcEraseLatency);
 
     // Reformat block 0 to all-SLC.
     for (std::uint16_t f = 0; f < 4; ++f)
         dev_.requestFrameMode(0, f, DensityMode::SLC);
     dev_.eraseBlock(0);
-    EXPECT_DOUBLE_EQ(dev_.programPage({0, 0, 0}), t.slcWriteLatency);
+    EXPECT_DOUBLE_EQ(dev_.programPage({0, 0, 0}).latency,
+                     t.slcWriteLatency);
     EXPECT_DOUBLE_EQ(dev_.readPage({0, 0, 0}).latency, t.slcReadLatency);
-    EXPECT_DOUBLE_EQ(dev_.eraseBlock(0), t.slcEraseLatency);
+    EXPECT_DOUBLE_EQ(dev_.eraseBlock(0).latency, t.slcEraseLatency);
 }
 
 TEST_F(FlashDeviceTest, EraseCountAndDamageAccumulate)

@@ -20,6 +20,8 @@
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "sim/system_sim.hh"
+#include "ssd/ftl.hh"
+#include "util/rng.hh"
 #include "workload/synthetic.hh"
 
 namespace flashcache {
@@ -370,6 +372,107 @@ TEST(CliOptionsTest, DefaultsAreOff)
     EXPECT_FALSE(o.wantTrace());
     EXPECT_EQ(o.traceEvents, std::size_t(1) << 16);
     EXPECT_EQ(argc, 1);
+}
+
+// -------------------------------------- Uncorrectable-read accounting
+
+/**
+ * The three uncorrectable counters tell one story. The controller
+ * counts every decode that exceeded the code strength; the cache
+ * splits those into transient overflows its re-read recovered
+ * (cache.ecc_retry_reads) and reads that stayed uncorrectable
+ * (cache.uncorrectable). The invariant on the retry path:
+ *
+ *   ecc.uncorrectable_reads ==
+ *       cache.uncorrectable + cache.ecc_retry_reads
+ *
+ * (a recovered retry contributes one controller uncorrectable and one
+ * retry; an unrecovered one contributes two controller uncorrectables,
+ * one retry and one cache uncorrectable; a persistent-wear failure
+ * skips the retry and contributes one of each side).
+ */
+TEST(UncorrectableAccountingTest, CacheRetrySplitsControllerCount)
+{
+    class NullStore : public BackingStore
+    {
+      public:
+        Seconds read(Lba) override { return milliseconds(4.2); }
+        Seconds write(Lba) override { return milliseconds(4.2); }
+    };
+
+    WearParams no_wear;
+    no_wear.nominalCycles = 1e9;
+    CellLifetimeModel m(no_wear);
+    FlashGeometry g;
+    g.numBlocks = 8;
+    g.framesPerBlock = 8;
+    FlashDevice dev(g, FlashTiming(), m, 8);
+    dev.setSoftErrorRate(1.2e-4); // spikes past even strong codes
+    FlashMemoryController ctrl(dev);
+    NullStore store;
+    FlashCacheConfig cfg;
+    cfg.initialEccStrength = 10;
+    cfg.hotPageMigration = false;
+    FlashCache cache(ctrl, store, cfg);
+
+    MetricRegistry reg;
+    cache.registerMetrics(reg);
+    ctrl.registerMetrics(reg);
+
+    Rng rng(9);
+    for (int i = 0; i < 30000; ++i) {
+        const Lba l = rng.uniformInt(64);
+        if (rng.bernoulli(0.2))
+            cache.write(l);
+        else
+            cache.read(l);
+    }
+
+    // The workload actually exercised the retry path.
+    EXPECT_GT(reg.value("ecc.uncorrectable_reads"), 0.0);
+    EXPECT_GT(reg.value("cache.ecc_retry_reads"), 0.0);
+    EXPECT_DOUBLE_EQ(reg.value("ecc.uncorrectable_reads"),
+                     reg.value("cache.uncorrectable") +
+                         reg.value("cache.ecc_retry_reads"));
+    // The registry reads the same storage the stat structs expose.
+    EXPECT_EQ(ctrl.stats().uncorrectableReads,
+              cache.stats().uncorrectableReads +
+                  cache.stats().eccRetryReads);
+    cache.checkInvariants();
+}
+
+TEST(UncorrectableAccountingTest, FtlMatchesItsController)
+{
+    // The FTL has no retry path: every controller uncorrectable is an
+    // FTL uncorrectable, one for one.
+    WearParams no_wear;
+    no_wear.nominalCycles = 1e9;
+    CellLifetimeModel m(no_wear);
+    FlashGeometry g;
+    g.numBlocks = 8;
+    g.framesPerBlock = 8;
+    FlashDevice dev(g, FlashTiming(), m, 11);
+    dev.setSoftErrorRate(1e-4); // ~3.4 flips/read vs strength 4
+    FlashMemoryController ctrl(dev);
+    FlashTranslationLayer ftl(ctrl, /*logical_pages=*/100,
+                              /*ecc_strength=*/4);
+
+    MetricRegistry reg;
+    ftl.registerMetrics(reg);
+    ctrl.registerMetrics(reg);
+
+    Rng rng(13);
+    for (int i = 0; i < 5000; ++i) {
+        const Lba l = rng.uniformInt(100);
+        if (rng.bernoulli(0.4))
+            ftl.write(l);
+        else
+            ftl.read(l);
+    }
+    EXPECT_GT(reg.value("ftl.uncorrectable"), 0.0);
+    EXPECT_DOUBLE_EQ(reg.value("ftl.uncorrectable"),
+                     reg.value("ecc.uncorrectable_reads"));
+    ftl.checkInvariants();
 }
 
 // ----------------------------------------------------------- End-to-end

@@ -8,10 +8,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "util/atomic_file.hh"
 #include "util/log.hh"
 #include "util/mathx.hh"
 #include "util/stats.hh"
@@ -223,6 +227,62 @@ TEST(MathxTest, BinomialTailMonotoneInThreshold)
         EXPECT_LE(v, prev);
         prev = v;
     }
+}
+
+TEST(AtomicFileTest, WritesAndReplacesWholeFiles)
+{
+    const std::string path =
+        ::testing::TempDir() + "atomic_file_test.bin";
+    std::remove(path.c_str());
+
+    ASSERT_TRUE(atomicWriteFile(
+        path, [](std::ostream& os) { os << "first version"; }));
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::stringstream ss;
+        ss << in.rdbuf();
+        EXPECT_EQ(ss.str(), "first version");
+    }
+
+    // Replacement is all-or-nothing: the new contents land whole.
+    ASSERT_TRUE(atomicWriteFile(
+        path, [](std::ostream& os) { os << "v2"; }));
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::stringstream ss;
+        ss << in.rdbuf();
+        EXPECT_EQ(ss.str(), "v2");
+    }
+    // No temporary left behind.
+    EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+    std::remove(path.c_str());
+}
+
+TEST(AtomicFileTest, FailedWriteLeavesOriginalIntact)
+{
+    const std::string path =
+        ::testing::TempDir() + "atomic_file_keep.bin";
+    ASSERT_TRUE(atomicWriteFile(
+        path, [](std::ostream& os) { os << "precious"; }));
+
+    // A writer that poisons the stream: the replace must not happen.
+    EXPECT_FALSE(atomicWriteFile(path, [](std::ostream& os) {
+        os << "torn";
+        os.setstate(std::ios::failbit);
+    }));
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    EXPECT_EQ(ss.str(), "precious");
+    EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+    std::remove(path.c_str());
+}
+
+TEST(AtomicFileTest, UnwritableDirectoryFails)
+{
+    EXPECT_FALSE(atomicWriteFile(
+        "/nonexistent-dir-xyz/file.bin",
+        [](std::ostream& os) { os << "x"; }));
 }
 
 } // namespace
