@@ -35,7 +35,9 @@ void
 run(double threshold, bool last)
 {
     CellLifetimeModel lifetime;
-    const FlashGeometry geom = FlashGeometry::forMlcCapacity(mib(32));
+    FlashGeometry geom = FlashGeometry::forMlcCapacity(mib(32));
+    if (obsOpts.channels)
+        geom.numChannels = obsOpts.channels;
     FlashDevice device(geom, FlashTiming(), lifetime, 9);
     FlashMemoryController ctrl(device);
     NullStore store;

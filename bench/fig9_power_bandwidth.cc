@@ -49,6 +49,10 @@ run(const char* workload, double scale, std::uint64_t dram,
     // ratios (hence idle-power ratios) match the full-size setup.
     cfg.dramSpec.deviceBytes = static_cast<std::uint64_t>(
         static_cast<double>(cfg.dramSpec.deviceBytes) * scale);
+    if (obsOpts.clients)
+        cfg.clients = obsOpts.clients;
+    if (obsOpts.channels)
+        cfg.flashChannels = obsOpts.channels;
     SystemSimulator sim(cfg);
     if (obsOpts.wantTrace())
         sim.enableTracing(obsOpts.traceEvents);

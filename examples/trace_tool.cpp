@@ -119,6 +119,10 @@ main(int argc, char** argv)
         cfg.dramBytes = mib(32);
         cfg.flashBytes = mib(64);
         cfg.seed = 2026;
+        if (obsOpts.clients)
+            cfg.clients = obsOpts.clients;
+        if (obsOpts.channels)
+            cfg.flashChannels = obsOpts.channels;
         SystemSimulator sim(cfg);
         if (!loadState.empty() && !sim.loadFlashState(loadState)) {
             std::fprintf(stderr, "cannot load state from %s.{dev,cache}\n",

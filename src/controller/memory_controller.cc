@@ -125,6 +125,8 @@ FlashMemoryController::readPage(const PageAddress& addr,
     FC_LEAF(tracer_, "ecc.decode", "ecc", ecc_lat);
     res.latency = raw.latency + ecc_lat;
     stats_.eccTime += ecc_lat;
+    if (demands_)
+        demands_->record(sched::ResourceKind::Ecc, 0, ecc_lat);
     ++stats_.reads;
 
     if (raw.hardBitErrors == 0) {
@@ -150,6 +152,8 @@ FlashMemoryController::writePage(const PageAddress& addr,
     FC_LEAF(tracer_, "ecc.encode", "ecc", enc);
     FC_LEAF(tracer_, "flash.program", "flash", prog.latency);
     stats_.eccTime += enc;
+    if (demands_)
+        demands_->record(sched::ResourceKind::Ecc, 0, enc);
     ++stats_.writes;
     if (prog.failed) {
         ++stats_.programFailures;
@@ -199,6 +203,8 @@ FlashMemoryController::writePageReal(const PageAddress& addr,
     FC_LEAF(tracer_, "ecc.encode", "ecc", enc);
     FC_LEAF(tracer_, "flash.program", "flash", prog.latency);
     stats_.eccTime += enc;
+    if (demands_)
+        demands_->record(sched::ResourceKind::Ecc, 0, enc);
     ++stats_.writes;
     if (prog.failed) {
         ++stats_.programFailures;
@@ -222,6 +228,8 @@ FlashMemoryController::readPageReal(const PageAddress& addr,
     FC_LEAF(tracer_, "ecc.decode", "ecc", ecc_lat);
     res.latency = raw.latency + ecc_lat;
     stats_.eccTime += ecc_lat;
+    if (demands_)
+        demands_->record(sched::ResourceKind::Ecc, 0, ecc_lat);
     ++stats_.reads;
 
     const PageBytes stored = device_->pageData(addr);

@@ -197,6 +197,11 @@ class FlashMemoryController
     void setTracer(obs::Tracer* tracer) { tracer_ = tracer; }
     obs::Tracer* tracer() const { return tracer_; }
 
+    /** Attach (or detach with nullptr) a scheduler demand sink: each
+     *  encode/decode is recorded as an Ecc engine demand (the array
+     *  op itself is recorded by the device). Not owned. */
+    void attachDemandSink(sched::DemandSink* sink) { demands_ = sink; }
+
     /** Decode latency the pipeline charges at a strength. */
     Seconds
     decodeLatency(unsigned t) const
@@ -212,6 +217,7 @@ class FlashMemoryController
     unsigned maxEcc_;
     ControllerStats stats_;
     obs::Tracer* tracer_ = nullptr;
+    sched::DemandSink* demands_ = nullptr;
     std::map<unsigned, std::unique_ptr<BchCode>> codes_;
     Rng injectRng_;
 

@@ -551,6 +551,9 @@ FlashCache::gcPickVictim(Region& reg)
 bool
 FlashCache::eraseBlockTracked(std::uint32_t block, Seconds& time_sink)
 {
+    // Erases are always charged to a stats sink, never to request
+    // latency, so they always queue as background work.
+    const sched::BackgroundScope bg(demands_);
     FlashDevice& dev = ctrl_->device();
     FbstEntry& fb = fbst_[block];
     Region& reg = regions_[regionOf(block)];
@@ -636,6 +639,7 @@ std::optional<std::uint64_t>
 FlashCache::relocatePage(std::uint64_t id, bool want_slc,
                          Seconds& time_sink)
 {
+    const sched::BackgroundScope bg(demands_);
     FpstEntry& e = fpst_[id];
     const PageAddress addr = addressOf(id);
 
@@ -685,6 +689,7 @@ FlashCache::garbageCollect(int region)
     if (reg.invalidCount < 2ull * framesPerBlock_)
         return false;
 
+    const sched::BackgroundScope bg(demands_);
     const std::uint32_t victim = gcPickVictim(reg);
     if (victim == kNoBlock)
         return false;
@@ -754,6 +759,8 @@ FlashCache::evictBlock(int region)
     if (reg.lruBlocks.empty())
         return false;
 
+    const sched::BackgroundScope bg(demands_);
+
     std::uint32_t victim = reg.lruBlocks.lru();
 
     if (config_.wearLeveling && tryWearSwap(victim))
@@ -800,6 +807,7 @@ FlashCache::tryWearSwap(std::uint32_t victim)
 void
 FlashCache::wearLevelSwap(std::uint32_t victim, std::uint32_t newest)
 {
+    const sched::BackgroundScope bg(demands_);
     // Evict the victim's content, migrate the newest (coldest-wear)
     // block's content into the now-empty victim, then hand the
     // freshly erased newest block to the victim's region.
@@ -929,6 +937,7 @@ FlashCache::wearLevelSwap(std::uint32_t victim, std::uint32_t newest)
 void
 FlashCache::retireBlock(std::uint32_t block)
 {
+    const sched::BackgroundScope bg(demands_);
     const int r = regionOf(block);
     Region& reg = regions_[r];
 
@@ -966,6 +975,9 @@ void
 FlashCache::maybeReconfigure(std::uint64_t id,
                              const ControllerReadResult& res)
 {
+    // Runs after the hit latency is already recorded: any copies it
+    // makes are maintenance, invisible to this request's latency.
+    const sched::BackgroundScope bg(demands_);
     FpstEntry& e = fpst_[id];
 
     // Trigger 1 (section 5.2.1): the corrected-error count reached
@@ -1158,19 +1170,25 @@ FlashCache::readImpl(Lba lba, std::uint8_t* data)
         return out;
     }
 
-    const int fill_region = kRead;
-    auto slot = allocateSlot(fill_region, false, false);
-    for (int attempt = 0; !slot && attempt < 4; ++attempt) {
-        if (!garbageCollectIfUseful(fill_region) &&
-            !evictBlock(fill_region)) {
-            break;
+    {
+        // The fill program happens off the request's critical path
+        // (its latency is not charged to the read), so its device
+        // ops queue as background work.
+        const sched::BackgroundScope bg(demands_);
+        const int fill_region = kRead;
+        auto slot = allocateSlot(fill_region, false, false);
+        for (int attempt = 0; !slot && attempt < 4; ++attempt) {
+            if (!garbageCollectIfUseful(fill_region) &&
+                !evictBlock(fill_region)) {
+                break;
+            }
+            slot = allocateSlot(fill_region, false, false);
         }
-        slot = allocateSlot(fill_region, false, false);
-    }
-    if (slot) {
-        const auto inst = installPage(*slot, lba, false, 1, data);
-        fcht_.insert(lba, inst.id);
-        replenishReserve(fill_region);
+        if (slot) {
+            const auto inst = installPage(*slot, lba, false, 1, data);
+            fcht_.insert(lba, inst.id);
+            replenishReserve(fill_region);
+        }
     }
     drainPendingRetires();
     return out;
@@ -1273,6 +1291,7 @@ FlashCache::writeImpl(Lba lba, const std::uint8_t* data)
 bool
 FlashCache::flushPage(std::uint64_t id, Seconds& time_sink)
 {
+    const sched::BackgroundScope bg(demands_);
     // Flushing means reading the flash copy first; an unreadable
     // dirty page is lost for real.
     FpstEntry& e = fpst_[id];
@@ -1308,6 +1327,7 @@ FlashCache::flushPage(std::uint64_t id, Seconds& time_sink)
 void
 FlashCache::flushAll()
 {
+    const sched::BackgroundScope bg(demands_);
     for (std::uint64_t id = 0; id < fpst_.size(); ++id) {
         FpstEntry& e = fpst_[id];
         if (e.state == PageState::Valid && e.dirty) {
@@ -1323,6 +1343,7 @@ FlashCache::flushAll()
 void
 FlashCache::drainPendingRetires()
 {
+    const sched::BackgroundScope bg(demands_);
     while (!pendingRetire_.empty()) {
         const std::uint32_t b = pendingRetire_.back();
         pendingRetire_.pop_back();
@@ -1342,6 +1363,7 @@ FlashCache::recover()
         fatal("recover() requires realData mode (no payloads to scan "
               "otherwise)");
     FC_SPAN(tracer_, "cache.recover", "cache");
+    const sched::BackgroundScope bg(demands_);
     FlashDevice& dev = ctrl_->device();
     const FlashGeometry& geom = dev.geometry();
 

@@ -40,6 +40,7 @@
 #include "core/backing_store.hh"
 #include "core/lru.hh"
 #include "core/tables.hh"
+#include "sched/demand.hh"
 #include "util/types.hh"
 
 namespace flashcache {
@@ -248,6 +249,17 @@ class FlashCache
      *  the cache-level spans. */
     void setTracer(obs::Tracer* tracer);
     obs::Tracer* tracer() const { return tracer_; }
+
+    /**
+     * Attach (or detach with nullptr) the scheduler demand sink the
+     * devices below record into. The cache itself records nothing; it
+     * opens background scopes around GC, eviction, wear migration,
+     * reconfiguration copies, flushes and recovery so those device
+     * ops queue as background work that yields to foreground traffic
+     * — exactly the ops whose time is charged to the stats sinks
+     * (gcTime/evictionTime/reconfigTime) instead of request latency.
+     */
+    void setDemandSink(sched::DemandSink* sink) { demands_ = sink; }
 
     /** Total logical page slots at current density modes. */
     std::uint64_t capacityPages() const;
@@ -511,6 +523,7 @@ class FlashCache
 
     FlashCacheStats stats_;
     obs::Tracer* tracer_ = nullptr;
+    sched::DemandSink* demands_ = nullptr;
     std::uint64_t readsSinceAging_ = 0;
     std::uint64_t windowReads_ = 0;
 

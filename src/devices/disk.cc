@@ -25,7 +25,7 @@ Seconds
 DiskModel::access(Lba lba, bool sequential)
 {
     Seconds lat;
-    if (sequential || lba == lastLba_ + 1) {
+    if (sequential || (seqValid_ && lba == lastLba_ + 1)) {
         // Head already positioned: rotational + transfer only.
         lat = spec_.avgAccessLatency * 0.15;
     } else {
@@ -34,8 +34,11 @@ DiskModel::access(Lba lba, bool sequential)
         lat = spec_.avgAccessLatency * rng_.uniform(0.5, 1.5);
     }
     lastLba_ = lba;
+    seqValid_ = true;
     ++accesses_;
     busy_ += lat;
+    if (demands_)
+        demands_->record(sched::ResourceKind::Disk, 0, lat);
     return lat;
 }
 
@@ -48,7 +51,10 @@ DiskModel::accessChecked(Lba lba, bool sequential)
         return res;
 
     // Latent-sector error: firmware retries with repositioning, each
-    // attempt a fresh full seek (no sequential shortcut).
+    // attempt a fresh full seek (no sequential shortcut). The head is
+    // no longer parked after lastLba_, so the next access must not
+    // inherit the sequential shortcut.
+    seqValid_ = false;
     const unsigned budget = fault_->diskMaxRetries();
     while (res.retries < budget) {
         ++res.retries;
@@ -57,6 +63,8 @@ DiskModel::accessChecked(Lba lba, bool sequential)
             spec_.avgAccessLatency * rng_.uniform(0.5, 1.5);
         res.latency += retry_lat;
         busy_ += retry_lat;
+        if (demands_)
+            demands_->record(sched::ResourceKind::Disk, 0, retry_lat);
         if (!fault_->onDiskAttempt())
             return res;
     }

@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "flash/flash_spec.hh"
+#include "sched/demand.hh"
 #include "util/rng.hh"
 #include "util/types.hh"
 
@@ -67,6 +68,11 @@ class DiskModel
     /** Attach (or detach with nullptr) a fault injector. Not owned. */
     void attachFaultInjector(FaultInjector* fault) { fault_ = fault; }
 
+    /** Attach (or detach with nullptr) a scheduler demand sink: each
+     *  access (including retry seeks) is recorded as a Disk demand.
+     *  Not owned. */
+    void attachDemandSink(sched::DemandSink* sink) { demands_ = sink; }
+
     std::uint64_t accesses() const { return accesses_; }
     Seconds busyTime() const { return busy_; }
 
@@ -87,11 +93,16 @@ class DiskModel
     DiskSpec spec_;
     Rng rng_;
     Lba lastLba_ = 0;
+    /** lastLba_ reflects the real head position. Retry seeks in
+     *  accessChecked() reposition the head, so they clear this and
+     *  the next access pays a full seek even at lastLba_ + 1. */
+    bool seqValid_ = false;
     std::uint64_t accesses_ = 0;
     Seconds busy_ = 0.0;
     std::uint64_t retries_ = 0;
     std::uint64_t hardFailures_ = 0;
     FaultInjector* fault_ = nullptr;
+    sched::DemandSink* demands_ = nullptr;
 };
 
 } // namespace flashcache

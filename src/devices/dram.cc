@@ -36,6 +36,8 @@ DramModel::read(std::uint64_t bytes)
 {
     const Seconds lat = access(bytes);
     readBusy_ += lat;
+    if (demands_)
+        demands_->record(sched::ResourceKind::DramPort, 0, lat);
     return lat;
 }
 
@@ -44,6 +46,8 @@ DramModel::write(std::uint64_t bytes)
 {
     const Seconds lat = access(bytes);
     writeBusy_ += lat;
+    if (demands_)
+        demands_->record(sched::ResourceKind::DramPort, 0, lat);
     return lat;
 }
 

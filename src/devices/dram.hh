@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "flash/flash_spec.hh"
+#include "sched/demand.hh"
 #include "util/types.hh"
 
 namespace flashcache {
@@ -60,6 +61,10 @@ class DramModel
     Seconds readBusyTime() const { return readBusy_; }
     Seconds writeBusyTime() const { return writeBusy_; }
 
+    /** Attach (or detach with nullptr) a scheduler demand sink: each
+     *  access is recorded as a DramPort demand. Not owned. */
+    void attachDemandSink(sched::DemandSink* sink) { demands_ = sink; }
+
     /** Register `dram.*` metrics. */
     void registerMetrics(obs::MetricRegistry& reg) const;
 
@@ -78,6 +83,7 @@ class DramModel
     unsigned devices_;
     Seconds readBusy_ = 0.0;
     Seconds writeBusy_ = 0.0;
+    sched::DemandSink* demands_ = nullptr;
 
     /** Sustained DDR2-style bandwidth for bulk page moves. */
     static constexpr double kBandwidthBytesPerSec = 3.2e9;

@@ -92,10 +92,16 @@ FlashDevice::validate(const PageAddress& addr) const
 }
 
 void
-FlashDevice::account(Seconds latency)
+FlashDevice::account(Seconds latency, std::uint32_t block)
 {
     stats_.busyTime += latency;
     stats_.activeEnergy += latency * timing_.activePower;
+    if (demands_) {
+        demands_->record(sched::ResourceKind::FlashChannel,
+                         static_cast<std::uint16_t>(
+                             geom_.channelOf(block)),
+                         latency);
+    }
 }
 
 void
@@ -177,7 +183,7 @@ FlashDevice::readPage(const PageAddress& addr)
             softRng_.poisson(rate * geom_.pageBits()));
     }
     ++stats_.reads;
-    account(res.latency);
+    account(res.latency, addr.block);
     return res;
 }
 
@@ -242,7 +248,7 @@ FlashDevice::programPage(const PageAddress& addr, const std::uint8_t* data,
         writeTornPayload(lp, data, spare, fault_->tornBytes(full));
         fault_->noteTornPage();
         ++stats_.programs;
-        account(lat);
+        account(lat, addr.block);
         throw PowerLossException{};
     }
 
@@ -255,7 +261,7 @@ FlashDevice::programPage(const PageAddress& addr, const std::uint8_t* data,
         writeTornPayload(lp, data, spare, fault_->tornBytes(full));
         fault_->noteTornPage();
         ++stats_.programs;
-        account(lat);
+        account(lat, addr.block);
         return {lat, true};
     }
 
@@ -271,7 +277,7 @@ FlashDevice::programPage(const PageAddress& addr, const std::uint8_t* data,
         dataLen_[lp] = len;
     }
     ++stats_.programs;
-    account(lat);
+    account(lat, addr.block);
     return {lat, false};
 }
 
@@ -293,7 +299,7 @@ FlashDevice::eraseBlock(std::uint32_t block)
                 frameAt(block, f).damage += 1.0f;
             const Seconds flat = timing_.mlcEraseLatency;
             ++stats_.erases;
-            account(flat);
+            account(flat, block);
             return {flat, true};
         }
     }
@@ -321,7 +327,7 @@ FlashDevice::eraseBlock(std::uint32_t block)
     const Seconds lat = any_mlc ? timing_.mlcEraseLatency
                                 : timing_.slcEraseLatency;
     ++stats_.erases;
-    account(lat);
+    account(lat, block);
     return {lat, false};
 }
 

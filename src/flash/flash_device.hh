@@ -22,6 +22,7 @@
 #include "flash/flash_spec.hh"
 #include "flash/geometry.hh"
 #include "reliability/wear_model.hh"
+#include "sched/demand.hh"
 #include "util/rng.hh"
 #include "util/types.hh"
 
@@ -152,6 +153,13 @@ class FlashDevice
 
     FaultInjector* faultInjector() const { return fault_; }
 
+    /**
+     * Attach (or detach with nullptr) a scheduler demand sink: every
+     * read/program/erase is additionally recorded as a FlashChannel
+     * demand on the block's geometry-mapped channel. Not owned.
+     */
+    void attachDemandSink(sched::DemandSink* sink) { demands_ = sink; }
+
     /** Page left torn by a mid-program power cut or status failure. */
     bool isTorn(const PageAddress& addr) const;
 
@@ -230,7 +238,7 @@ class FlashDevice
     }
 
     void validate(const PageAddress& addr) const;
-    void account(Seconds latency);
+    void account(Seconds latency, std::uint32_t block);
 
     /** Zero the page's arena slot and persist a torn payload prefix. */
     void writeTornPayload(std::size_t lp, const std::uint8_t* data,
@@ -250,6 +258,7 @@ class FlashDevice
     std::vector<bool> factoryBad_;
 
     FaultInjector* fault_ = nullptr;
+    sched::DemandSink* demands_ = nullptr;
 
     /// @name Retained payloads (store_data mode): one flat arena
     /// sized at construction — a fixed slot of data+spare bytes per

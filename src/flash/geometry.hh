@@ -47,6 +47,12 @@ struct FlashGeometry
     std::uint32_t pageDataBytes = 2048;
     std::uint32_t pageSpareBytes = 64;
 
+    /** Independent channels (die groups with their own bus + command
+     *  pipeline) the blocks are striped over. Purely a timing-model
+     *  property: ops on different channels can overlap, ops on the
+     *  same channel serialize. */
+    std::uint32_t numChannels = 1;
+
     /** Fraction of blocks shipped factory-bad (NAND datasheets allow
      *  ~2%); the device marks them at construction and software must
      *  skip them. */
@@ -56,6 +62,13 @@ struct FlashGeometry
     pageBits() const
     {
         return (pageDataBytes + pageSpareBytes) * 8;
+    }
+
+    /** Channel a block's die sits on (blocks striped round-robin). */
+    std::uint32_t
+    channelOf(std::uint32_t block) const
+    {
+        return numChannels > 1 ? block % numChannels : 0;
     }
 
     /** Logical pages per block when every frame runs in the mode. */

@@ -32,6 +32,16 @@ CliOptions::parse(int& argc, char** argv)
                 std::strtoull(takeValue("--trace-events"), nullptr, 10));
             if (opts.traceEvents == 0)
                 fatal("--trace-events must be positive");
+        } else if (arg == "--clients") {
+            opts.clients = static_cast<unsigned>(
+                std::strtoul(takeValue("--clients"), nullptr, 10));
+            if (opts.clients == 0)
+                fatal("--clients must be positive");
+        } else if (arg == "--channels") {
+            opts.channels = static_cast<unsigned>(
+                std::strtoul(takeValue("--channels"), nullptr, 10));
+            if (opts.channels == 0)
+                fatal("--channels must be positive");
         } else {
             argv[out++] = argv[i];
         }
@@ -45,7 +55,9 @@ CliOptions::help()
 {
     return "  --stats-json FILE    write a JSON metrics snapshot\n"
            "  --trace-out FILE     write a Chrome trace-event JSON\n"
-           "  --trace-events N     trace ring capacity (default 65536)\n";
+           "  --trace-events N     trace ring capacity (default 65536)\n"
+           "  --clients N          closed-loop clients (scheduler)\n"
+           "  --channels N         independent flash channels\n";
 }
 
 namespace {

@@ -23,6 +23,8 @@ struct CliOptions
     std::string statsJson; ///< --stats-json FILE (empty = off)
     std::string traceOut;  ///< --trace-out FILE (empty = off)
     std::size_t traceEvents = 1u << 16; ///< --trace-events N
+    unsigned clients = 0;  ///< --clients N (0 = tool default)
+    unsigned channels = 0; ///< --channels N (0 = tool default)
 
     bool wantStats() const { return !statsJson.empty(); }
     bool wantTrace() const { return !traceOut.empty(); }

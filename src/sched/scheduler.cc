@@ -1,0 +1,426 @@
+#include "sched/scheduler.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "obs/metrics.hh"
+
+namespace flashcache {
+namespace sched {
+
+// ---------------------------------------------------------------- histogram
+
+void
+LogHistogram::record(Seconds v)
+{
+    int bin = 0;
+    if (v > kFloor) {
+        bin = static_cast<int>(std::log2(v / kFloor) * kSubBuckets);
+        bin = std::min(bin, kBins - 1);
+    }
+    ++bins_[static_cast<std::size_t>(bin)];
+    ++total_;
+}
+
+double
+LogHistogram::percentile(double p) const
+{
+    if (total_ == 0)
+        return 0.0;
+    const double target = std::max(1.0, total_ * p / 100.0);
+    std::uint64_t cum = 0;
+    for (int i = 0; i < kBins; ++i) {
+        cum += bins_[static_cast<std::size_t>(i)];
+        if (static_cast<double>(cum) >= target) {
+            const double lo =
+                kFloor * std::exp2(static_cast<double>(i) / kSubBuckets);
+            const double hi =
+                kFloor * std::exp2(static_cast<double>(i + 1) / kSubBuckets);
+            return std::sqrt(lo * hi);
+        }
+    }
+    return kFloor * std::exp2(static_cast<double>(kOctaves));
+}
+
+void
+LogHistogram::merge(const LogHistogram& other)
+{
+    for (int i = 0; i < kBins; ++i)
+        bins_[static_cast<std::size_t>(i)] +=
+            other.bins_[static_cast<std::size_t>(i)];
+    total_ += other.total_;
+}
+
+// --------------------------------------------------------------- closed loop
+
+ClosedLoop::ClosedLoop(const SchedConfig& cfg, DemandSink& sink)
+    : config_(cfg), sink_(sink)
+{
+    assert(config_.clients > 0 && config_.flashChannels > 0 &&
+           config_.dramPorts > 0);
+    resources_.reserve(config_.flashChannels + 3);
+    for (std::uint32_t c = 0; c < config_.flashChannels; ++c) {
+        Resource r;
+        r.group = Group::Flash;
+        r.servers = 1;
+        resources_.push_back(std::move(r));
+    }
+    {
+        Resource disk;
+        disk.group = Group::Disk;
+        disk.servers = 1;
+        resources_.push_back(std::move(disk));
+    }
+    {
+        Resource ecc;
+        ecc.group = Group::Ecc;
+        ecc.servers = config_.resolvedEccUnits();
+        resources_.push_back(std::move(ecc));
+    }
+    {
+        Resource dram;
+        dram.group = Group::Dram;
+        dram.servers = config_.dramPorts;
+        resources_.push_back(std::move(dram));
+    }
+    jobs_.resize(config_.clients);
+}
+
+bool
+ClosedLoop::later(const Event& a, const Event& b)
+{
+    // Min-heap on (time, insertion sequence): "a sorts after b".
+    if (a.t != b.t)
+        return a.t > b.t;
+    return a.seq > b.seq;
+}
+
+void
+ClosedLoop::push(Seconds t, EventKind kind, std::uint32_t res,
+                 std::uint32_t job, Seconds service)
+{
+    assert(t >= now_);
+    heap_.push_back({t, nextSeq_++, kind, res, job, service});
+    std::push_heap(heap_.begin(), heap_.end(), later);
+}
+
+ClosedLoop::Event
+ClosedLoop::pop()
+{
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    Event ev = heap_.back();
+    heap_.pop_back();
+    return ev;
+}
+
+std::uint32_t
+ClosedLoop::resourceOf(const Demand& d) const
+{
+    switch (d.kind) {
+      case ResourceKind::FlashChannel:
+        return d.channel % config_.flashChannels;
+      case ResourceKind::Disk:
+        return config_.flashChannels;
+      case ResourceKind::Ecc:
+        return config_.flashChannels + 1;
+      case ResourceKind::DramPort:
+        return config_.flashChannels + 2;
+    }
+    return config_.flashChannels + 2; // unreachable
+}
+
+void
+ClosedLoop::advance(Resource& r, Seconds t)
+{
+    const Seconds dt = t - r.lastT;
+    if (dt > 0) {
+        r.busy += r.busyServers * dt;
+        r.queueArea +=
+            static_cast<double>(r.fg.size() + r.bg.size()) * dt;
+        r.lastT = t;
+    }
+}
+
+void
+ClosedLoop::dispatch(std::uint32_t res, Seconds t)
+{
+    Resource& r = resources_[res];
+    // Strict two-level priority: a freed server always takes a
+    // waiting foreground stage before any background op (no
+    // preemption of ops already in service).
+    while (r.busyServers < r.servers &&
+           (!r.fg.empty() || !r.bg.empty())) {
+        if (!r.fg.empty()) {
+            const FgWait w = r.fg.front();
+            r.fg.pop_front();
+            ++r.busyServers;
+            const Job& j = jobs_[w.job];
+            push(t + j.stages[j.cursor].service, EventKind::FgDone, res,
+                 w.job);
+        } else {
+            const BgOp op = r.bg.front();
+            r.bg.pop_front();
+            ++r.busyServers;
+            push(t + op.service, EventKind::BgDone, res, 0);
+        }
+    }
+    r.maxQueue = std::max(
+        r.maxQueue, static_cast<std::uint64_t>(r.fg.size() + r.bg.size()));
+}
+
+void
+ClosedLoop::onClientReady(const Event& ev, const Source& source,
+                          const DoneFn& done)
+{
+    sink_.clear();
+    Seconds compute = 0;
+    if (!source(compute))
+        return; // workload exhausted: this client retires
+    Job& j = jobs_[ev.job];
+    j.compute = compute;
+    j.issue = ev.t + compute;
+    j.stages.clear();
+    j.cursor = 0;
+    for (const Demand& d : sink_.demands()) {
+        if (d.background) {
+            push(j.issue, EventKind::BgArrive, resourceOf(d), 0,
+                 d.service);
+            ++bgSubmitted_;
+        } else {
+            j.stages.push_back({resourceOf(d), d.service});
+        }
+    }
+    if (j.stages.empty()) {
+        ++fgCompleted_;
+        done(j.compute, j.issue, j.issue);
+        push(j.issue, EventKind::ClientReady, 0, ev.job);
+    } else {
+        push(j.issue, EventKind::StageArrive, j.stages[0].resource,
+             ev.job);
+    }
+}
+
+void
+ClosedLoop::onStageArrive(const Event& ev)
+{
+    Resource& r = resources_[ev.res];
+    advance(r, ev.t);
+    jobs_[ev.job].arrival = ev.t;
+    r.fg.push_back({ev.job, ev.t});
+    dispatch(ev.res, ev.t);
+}
+
+void
+ClosedLoop::onBgArrive(const Event& ev)
+{
+    Resource& r = resources_[ev.res];
+    advance(r, ev.t);
+    r.bg.push_back({ev.service, ev.t});
+    dispatch(ev.res, ev.t);
+}
+
+void
+ClosedLoop::onFgDone(const Event& ev, const DoneFn& done)
+{
+    Resource& r = resources_[ev.res];
+    advance(r, ev.t);
+    assert(r.busyServers > 0);
+    --r.busyServers;
+    ++r.fgServed;
+    Job& j = jobs_[ev.job];
+    r.sojourn.record(ev.t - j.arrival);
+    dispatch(ev.res, ev.t);
+    ++j.cursor;
+    if (j.cursor < j.stages.size()) {
+        push(ev.t, EventKind::StageArrive, j.stages[j.cursor].resource,
+             ev.job);
+    } else {
+        ++fgCompleted_;
+        done(j.compute, j.issue, ev.t);
+        push(ev.t, EventKind::ClientReady, 0, ev.job);
+    }
+}
+
+void
+ClosedLoop::onBgDone(const Event& ev)
+{
+    Resource& r = resources_[ev.res];
+    advance(r, ev.t);
+    assert(r.busyServers > 0);
+    --r.busyServers;
+    ++r.bgServed;
+    dispatch(ev.res, ev.t);
+}
+
+void
+ClosedLoop::run(const Source& source, const DoneFn& done)
+{
+    for (std::uint32_t c = 0; c < config_.clients; ++c)
+        push(now_, EventKind::ClientReady, 0, c);
+    while (!heap_.empty()) {
+        const Event ev = pop();
+        assert(ev.t >= now_);
+        now_ = ev.t;
+        switch (ev.kind) {
+          case EventKind::ClientReady:
+            onClientReady(ev, source, done);
+            break;
+          case EventKind::StageArrive:
+            onStageArrive(ev);
+            break;
+          case EventKind::BgArrive:
+            onBgArrive(ev);
+            break;
+          case EventKind::FgDone:
+            onFgDone(ev, done);
+            break;
+          case EventKind::BgDone:
+            onBgDone(ev);
+            break;
+        }
+    }
+    // Close every resource's integrals out to the final event time
+    // so utilization/queue-depth denominators line up with wallClock.
+    for (Resource& r : resources_)
+        advance(r, now_);
+}
+
+// ------------------------------------------------------------------ queries
+
+template <typename Fn>
+void
+ClosedLoop::forGroup(Group g, Fn&& fn) const
+{
+    for (const Resource& r : resources_) {
+        if (r.group == g)
+            fn(r);
+    }
+}
+
+double
+ClosedLoop::utilization(Group g) const
+{
+    if (now_ <= 0)
+        return 0.0;
+    Seconds busy = 0;
+    std::uint64_t servers = 0;
+    forGroup(g, [&](const Resource& r) {
+        busy += r.busy;
+        servers += r.servers;
+    });
+    return servers ? busy / (static_cast<double>(servers) * now_) : 0.0;
+}
+
+Seconds
+ClosedLoop::busySeconds(Group g) const
+{
+    Seconds busy = 0;
+    forGroup(g, [&](const Resource& r) { busy += r.busy; });
+    return busy;
+}
+
+std::uint64_t
+ClosedLoop::served(Group g) const
+{
+    std::uint64_t n = 0;
+    forGroup(g, [&](const Resource& r) { n += r.fgServed + r.bgServed; });
+    return n;
+}
+
+std::uint64_t
+ClosedLoop::backgroundServed(Group g) const
+{
+    std::uint64_t n = 0;
+    forGroup(g, [&](const Resource& r) { n += r.bgServed; });
+    return n;
+}
+
+double
+ClosedLoop::meanQueueDepth(Group g) const
+{
+    if (now_ <= 0)
+        return 0.0;
+    double area = 0;
+    forGroup(g, [&](const Resource& r) { area += r.queueArea; });
+    return area / now_;
+}
+
+std::uint64_t
+ClosedLoop::maxQueueDepth(Group g) const
+{
+    std::uint64_t m = 0;
+    forGroup(g, [&](const Resource& r) { m = std::max(m, r.maxQueue); });
+    return m;
+}
+
+double
+ClosedLoop::sojournPercentile(Group g, double p) const
+{
+    LogHistogram merged;
+    forGroup(g, [&](const Resource& r) { merged.merge(r.sojourn); });
+    return merged.percentile(p);
+}
+
+void
+ClosedLoop::registerMetrics(obs::MetricRegistry& reg)
+{
+    reg.gauge("sched.clients", "closed-loop client count",
+              [this] { return static_cast<double>(config_.clients); });
+    reg.gauge("sched.flash.channels", "independent flash channels",
+              [this] {
+                  return static_cast<double>(config_.flashChannels);
+              });
+    reg.gauge("sched.requests", "foreground requests completed",
+              [this] { return static_cast<double>(fgCompleted_); });
+    reg.gauge("sched.bg_jobs", "background ops submitted",
+              [this] { return static_cast<double>(bgSubmitted_); });
+
+    struct GroupName
+    {
+        Group g;
+        const char* name;
+    };
+    static constexpr GroupName kGroups[] = {
+        {Group::Flash, "flash"},
+        {Group::Disk, "disk"},
+        {Group::Ecc, "ecc"},
+        {Group::Dram, "dram"},
+    };
+    for (const GroupName& gn : kGroups) {
+        const std::string base = std::string("sched.") + gn.name;
+        const Group g = gn.g;
+        reg.gauge(base + ".utilization",
+                  "fraction of server-time in service",
+                  [this, g] { return utilization(g); });
+        reg.gauge(base + ".busy", "server-seconds of service",
+                  [this, g] { return busySeconds(g); });
+        reg.gauge(base + ".served", "operations completed (fg+bg)",
+                  [this, g] {
+                      return static_cast<double>(served(g));
+                  });
+        reg.gauge(base + ".bg_served",
+                  "background operations completed",
+                  [this, g] {
+                      return static_cast<double>(backgroundServed(g));
+                  });
+        reg.gauge(base + ".queue_depth", "time-averaged waiting ops",
+                  [this, g] { return meanQueueDepth(g); });
+        reg.gauge(base + ".max_queue", "peak waiting ops",
+                  [this, g] {
+                      return static_cast<double>(maxQueueDepth(g));
+                  });
+        reg.gauge(base + ".sojourn_p50",
+                  "median per-visit wait+service (s)",
+                  [this, g] { return sojournPercentile(g, 50); });
+        reg.gauge(base + ".sojourn_p95",
+                  "p95 per-visit wait+service (s)",
+                  [this, g] { return sojournPercentile(g, 95); });
+        reg.gauge(base + ".sojourn_p99",
+                  "p99 per-visit wait+service (s)",
+                  [this, g] { return sojournPercentile(g, 99); });
+    }
+}
+
+} // namespace sched
+} // namespace flashcache

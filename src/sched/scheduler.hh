@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Deterministic virtual-time event scheduler with per-resource
+ * service queues, driving a closed-loop multi-client workload.
+ *
+ * Resources model the contended stations of the storage hierarchy:
+ * N independent flash channels (each a one-server queue over the
+ * dies geometry-mapped to it), the disk head, K ECC engine units
+ * (one queue, K servers), and the DRAM ports. A foreground request
+ * walks its recorded demand chain (see demand.hh) through these
+ * queues stage by stage and observes real waiting; background work
+ * (GC, PDC write-backs) is two-level scheduled — a server takes a
+ * background op only when no foreground job is waiting — so cleaning
+ * yields to traffic instead of silently inflating busy time.
+ *
+ * The closed loop runs C clients. Each client draws its next request
+ * the moment the previous one completes, computes for the request's
+ * think time, then issues; client count therefore sets the offered
+ * concurrency. Everything is ordered by (virtual time, insertion
+ * sequence), so runs are bit-deterministic for a fixed seed.
+ */
+
+#ifndef FLASHCACHE_SCHED_SCHEDULER_HH
+#define FLASHCACHE_SCHED_SCHEDULER_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sched/demand.hh"
+#include "util/types.hh"
+
+namespace flashcache {
+
+namespace obs {
+class MetricRegistry;
+}
+
+namespace sched {
+
+/**
+ * Log-scale duration histogram: 4 sub-buckets per octave starting at
+ * 1 ns. Constant memory, O(1) record, good-enough percentile
+ * resolution (~19% bucket width) across 13 decades — the right shape
+ * for sojourn times that span nanoseconds (DRAM) to tens of
+ * milliseconds (queued disk seeks).
+ */
+class LogHistogram
+{
+  public:
+    void record(Seconds v);
+
+    /** Value at percentile p (0..100): geometric midpoint of the
+     *  containing bucket; 0 with no samples. */
+    double percentile(double p) const;
+
+    void merge(const LogHistogram& other);
+
+    std::uint64_t count() const { return total_; }
+
+    static constexpr double kFloor = 1e-9;
+    static constexpr int kSubBuckets = 4;
+    static constexpr int kOctaves = 44; ///< 1 ns .. ~4.9 h
+    static constexpr int kBins = kOctaves * kSubBuckets;
+
+  private:
+    std::array<std::uint64_t, kBins> bins_{};
+    std::uint64_t total_ = 0;
+};
+
+/** Scheduler shape: client count and per-resource server counts. */
+struct SchedConfig
+{
+    std::uint32_t clients = 8;
+    std::uint32_t flashChannels = 4;
+    std::uint32_t eccUnits = 0; ///< 0 = one unit per flash channel
+    std::uint32_t dramPorts = 2;
+
+    std::uint32_t resolvedEccUnits() const
+    {
+        return eccUnits ? eccUnits : flashChannels;
+    }
+};
+
+/** Metric/reporting aggregation groups (flash sums its channels). */
+enum class Group : std::uint8_t
+{
+    Flash,
+    Disk,
+    Ecc,
+    Dram,
+};
+
+/**
+ * The event engine. One instance owns virtual time; successive
+ * run() calls continue the same timeline (warm restarts keep their
+ * clock).
+ */
+class ClosedLoop
+{
+  public:
+    /**
+     * The source runs the functional model for one request at the
+     * current virtual time, leaves its resource demands in the sink,
+     * and returns the request's compute (think) time through
+     * `compute`. Returning false means the workload is exhausted.
+     */
+    using Source = std::function<bool(Seconds& compute)>;
+
+    /** Called at each foreground completion with the request's
+     *  compute (think) time, issue time (post-think) and completion
+     *  time; storage latency incl. queueing = completion - issue. */
+    using DoneFn = std::function<void(Seconds compute, Seconds issue,
+                                      Seconds completion)>;
+
+    ClosedLoop(const SchedConfig& cfg, DemandSink& sink);
+
+    /** Drive the source to exhaustion and drain all queues. */
+    void run(const Source& source, const DoneFn& done);
+
+    /** Virtual time of the last processed event (includes the
+     *  background runoff after the last foreground completion). */
+    Seconds wallClock() const { return now_; }
+
+    std::uint64_t requestsCompleted() const { return fgCompleted_; }
+
+    const SchedConfig& config() const { return config_; }
+
+    /// @name Aggregated per-group statistics (sampled any time).
+    /// @{
+    double utilization(Group g) const;   ///< busy / (servers * wall)
+    Seconds busySeconds(Group g) const;  ///< summed server-seconds
+    std::uint64_t served(Group g) const; ///< fg + bg ops completed
+    std::uint64_t backgroundServed(Group g) const;
+    double meanQueueDepth(Group g) const;
+    std::uint64_t maxQueueDepth(Group g) const;
+    double sojournPercentile(Group g, double p) const;
+    /// @}
+
+    /** Register sched.* gauges; `this` must outlive the registry. */
+    void registerMetrics(obs::MetricRegistry& reg);
+
+  private:
+    enum class EventKind : std::uint8_t
+    {
+        ClientReady, ///< client draws + computes its next request
+        StageArrive, ///< fg job joins a resource queue
+        BgArrive,    ///< background op joins a resource queue
+        FgDone,      ///< server finished a fg stage
+        BgDone,      ///< server finished a bg op
+    };
+
+    struct Event
+    {
+        Seconds t;
+        std::uint64_t seq; ///< insertion order; deterministic ties
+        EventKind kind;
+        std::uint32_t res;  ///< resource index (arrive/done)
+        std::uint32_t job;  ///< client == job index (one in flight)
+        Seconds service;    ///< bg op service time (BgArrive)
+    };
+
+    struct Stage
+    {
+        std::uint32_t resource;
+        Seconds service;
+    };
+
+    struct Job
+    {
+        Seconds compute = 0; ///< think time before issue
+        Seconds issue = 0;   ///< post-think; latency baseline
+        Seconds arrival = 0; ///< arrival at the current resource
+        std::vector<Stage> stages;
+        std::size_t cursor = 0;
+    };
+
+    struct FgWait
+    {
+        std::uint32_t job;
+        Seconds arrival;
+    };
+
+    struct BgOp
+    {
+        Seconds service;
+        Seconds arrival;
+    };
+
+    struct Resource
+    {
+        Group group;
+        std::uint32_t servers = 1;
+        std::uint32_t busyServers = 0;
+        std::deque<FgWait> fg;
+        std::deque<BgOp> bg;
+
+        Seconds lastT = 0;
+        Seconds busy = 0;      ///< integral of busyServers dt
+        Seconds queueArea = 0; ///< integral of waiting count dt
+        std::uint64_t fgServed = 0;
+        std::uint64_t bgServed = 0;
+        std::uint64_t maxQueue = 0;
+        LogHistogram sojourn; ///< fg wait+service per visit
+    };
+
+    void push(Seconds t, EventKind kind, std::uint32_t res,
+              std::uint32_t job, Seconds service = 0);
+    Event pop();
+    static bool later(const Event& a, const Event& b);
+
+    void advance(Resource& r, Seconds t);
+    void dispatch(std::uint32_t res, Seconds t);
+    std::uint32_t resourceOf(const Demand& d) const;
+
+    void onClientReady(const Event& ev, const Source& source,
+                       const DoneFn& done);
+    void onStageArrive(const Event& ev);
+    void onBgArrive(const Event& ev);
+    void onFgDone(const Event& ev, const DoneFn& done);
+    void onBgDone(const Event& ev);
+
+    template <typename Fn>
+    void forGroup(Group g, Fn&& fn) const;
+
+    SchedConfig config_;
+    DemandSink& sink_;
+    std::vector<Resource> resources_;
+    std::vector<Job> jobs_; ///< indexed by client
+    std::vector<Event> heap_;
+    std::uint64_t nextSeq_ = 0;
+    Seconds now_ = 0;
+    std::uint64_t fgCompleted_ = 0;
+    std::uint64_t bgSubmitted_ = 0;
+};
+
+} // namespace sched
+} // namespace flashcache
+
+#endif // FLASHCACHE_SCHED_SCHEDULER_HH

@@ -79,7 +79,8 @@ SystemSimulator::SystemSimulator(const SystemConfig& config)
 
     if (config.flashBytes > 0) {
         lifetime_ = std::make_unique<CellLifetimeModel>(config.wear);
-        const auto geom = FlashGeometry::forMlcCapacity(config.flashBytes);
+        auto geom = FlashGeometry::forMlcCapacity(config.flashBytes);
+        geom.numChannels = std::max(1u, config.flashChannels);
         flash_ = std::make_unique<FlashDevice>(geom, config.flashTiming,
                                                *lifetime_,
                                                config.seed * 31 + 5);
@@ -100,6 +101,23 @@ SystemSimulator::SystemSimulator(const SystemConfig& config)
                                               fc);
     }
 
+    // Every device model below the PDC records its service demands
+    // into the shared sink; the closed loop replays them through
+    // per-resource queues to produce the event-driven wall clock.
+    dram_.attachDemandSink(&sink_);
+    disk_.attachDemandSink(&sink_);
+    if (cache_) {
+        flash_->attachDemandSink(&sink_);
+        controller_->attachDemandSink(&sink_);
+        cache_->setDemandSink(&sink_);
+    }
+    sched::SchedConfig sc;
+    sc.clients = config.clients ? config.clients : config.cores;
+    sc.flashChannels = std::max(1u, config.flashChannels);
+    sc.eccUnits = config.eccUnits;
+    sc.dramPorts = std::max(1u, config.dramPorts);
+    sched_ = std::make_unique<sched::ClosedLoop>(sc, sink_);
+
     registerAllMetrics();
 }
 
@@ -117,6 +135,9 @@ SystemSimulator::registerAllMetrics()
     registry_.histogram("system.request_latency",
                         "per-request latency (s)",
                         &stats_.requestLatency);
+    registry_.gauge("system.analytic_wall_clock",
+                    "retired serial-approximation wall clock (s)",
+                    [this] { return analyticWall_; });
 
     registry_.ratio("pdc.read", "primary disk cache reads",
                     &stats_.pdcReads);
@@ -134,6 +155,8 @@ SystemSimulator::registerAllMetrics()
     }
     if (fault_)
         fault_->registerMetrics(registry_);
+
+    sched_->registerMetrics(registry_);
 
     registry_.gauge("power.mem_read", "W",
                     [this] { return powerReport().memRead; });
@@ -162,7 +185,9 @@ SystemSimulator::readBelow(Lba lba)
 {
     if (cache_)
         return cache_->read(lba).latency;
-    return disk_.access(lba, false);
+    const Seconds lat = disk_.access(lba, false);
+    FC_LEAF(tracer_.get(), "disk.access", "disk", lat);
+    return lat;
 }
 
 Seconds
@@ -171,7 +196,9 @@ SystemSimulator::writeBelow(Lba lba)
     if (cache_) {
         return cache_->write(lba).latency;
     }
-    return disk_.access(lba, false);
+    const Seconds lat = disk_.access(lba, false);
+    FC_LEAF(tracer_.get(), "disk.access", "disk", lat);
+    return lat;
 }
 
 void
@@ -181,16 +208,18 @@ SystemSimulator::evictPdcPage()
     if (pdcDirtyLru_.erase(victim)) {
         // Background write-back; does not delay the foreground
         // request, but occupies the lower levels.
+        FC_SPAN(tracer_.get(), "pdc.evict_writeback", "pdc");
+        const sched::BackgroundScope bg(&sink_);
         writeBelow(victim);
         ++stats_.writebacks;
     }
 }
 
 Seconds
-SystemSimulator::serve(const TraceRecord& r)
+SystemSimulator::serve(const TraceRecord& r, Seconds& compute)
 {
     FC_SPAN(tracer_.get(), "request", "sim");
-    const Seconds compute = rng_.exponential(1.0 / config_.computeTime);
+    compute = rng_.exponential(1.0 / config_.computeTime);
     FC_LEAF(tracer_.get(), "cpu.compute", "cpu", compute);
     computeTotal_ += compute;
     Seconds storage = 0.0;
@@ -225,6 +254,8 @@ SystemSimulator::serve(const TraceRecord& r)
         // Periodic write-back (section 5.1): once enough dirty pages
         // accumulate, the flusher drains the coldest ones in batches.
         if (pdcDirtyLru_.size() >= pdcDirtyLimit_) {
+            FC_SPAN(tracer_.get(), "pdc.flush_batch", "pdc");
+            const sched::BackgroundScope bg(&sink_);
             for (unsigned i = 0;
                  i < config_.writebackBatch && !pdcDirtyLru_.empty();
                  ++i) {
@@ -235,47 +266,75 @@ SystemSimulator::serve(const TraceRecord& r)
     }
 
     latencyTotal_ += storage;
-    stats_.requestLatency.add(compute + storage);
-    return compute + storage;
+    return storage;
+}
+
+void
+SystemSimulator::runLoop(const std::function<bool(TraceRecord&)>& next)
+{
+    const auto source = [&](Seconds& compute) {
+        TraceRecord r;
+        if (!next(r))
+            return false;
+        serve(r, compute);
+        ++stats_.requests;
+        return true;
+    };
+    const auto done = [this](Seconds compute, Seconds issue,
+                             Seconds completion) {
+        // Storage latency as observed: service plus queueing delay.
+        stats_.requestLatency.add(compute + (completion - issue));
+    };
+    sched_->run(source, done);
+    finishRun();
 }
 
 void
 SystemSimulator::run(WorkloadGenerator& workload, std::uint64_t n)
 {
-    for (std::uint64_t i = 0; i < n; ++i) {
-        serve(workload.next(rng_));
-        ++stats_.requests;
-    }
-    finishRun();
+    std::uint64_t issued = 0;
+    runLoop([&](TraceRecord& r) {
+        if (issued >= n)
+            return false;
+        ++issued;
+        r = workload.next(rng_);
+        return true;
+    });
 }
 
 void
 SystemSimulator::run(const Trace& trace)
 {
-    for (const TraceRecord& r : trace) {
-        serve(r);
-        ++stats_.requests;
-    }
-    finishRun();
+    auto it = trace.begin();
+    runLoop([&](TraceRecord& r) {
+        if (it == trace.end())
+            return false;
+        r = *it++;
+        return true;
+    });
 }
 
 void
 SystemSimulator::finishRun()
 {
-    // Closed-loop wall clock: the request streams overlap across the
-    // cores, but no serial resource can be busier than the wall
-    // clock itself. The flash path serializes the array and the
-    // controller's ECC engine.
-    const Seconds pipelined = (computeTotal_ + latencyTotal_) /
-        static_cast<double>(config_.cores);
-    Seconds wall = pipelined;
+    // Retired serial approximation, kept alongside the event clock
+    // for comparison: perfectly pipelined streams bounded below by
+    // each device's busy time, with the flash array and the ECC
+    // engine treated as one serial path.
+    const auto streams = static_cast<double>(
+        config_.clients ? config_.clients : config_.cores);
+    Seconds wall = (computeTotal_ + latencyTotal_) / streams;
     wall = std::max(wall, disk_.busyTime());
     if (flash_) {
         wall = std::max(wall, flash_->stats().busyTime +
                               controller_->stats().eccTime);
     }
     wall = std::max(wall, dram_.readBusyTime() + dram_.writeBusyTime());
-    stats_.wallClock = wall;
+    analyticWall_ = wall;
+
+    // Authoritative wall clock: the scheduler's virtual time after
+    // the last event (foreground completions plus background runoff).
+    stats_.wallClock = sched_->wallClock();
 }
 
 PowerReport

@@ -30,6 +30,7 @@
 #include "devices/dram.hh"
 #include "fault/fault_injector.hh"
 #include "obs/metrics.hh"
+#include "sched/scheduler.hh"
 #include "sim/power_report.hh"
 #include "util/stats.hh"
 #include "workload/synthetic.hh"
@@ -45,6 +46,22 @@ struct SystemConfig
 {
     /** Concurrent request streams (8 single-issue in-order cores). */
     unsigned cores = 8;
+
+    /** Closed-loop clients driving the event scheduler; 0 = one per
+     *  core. Each client computes (thinks), issues its request
+     *  through the per-resource service queues, and draws the next
+     *  one when it completes. */
+    unsigned clients = 0;
+
+    /** Independent flash channels: blocks are striped over them and
+     *  ops on different channels overlap in the event scheduler. */
+    unsigned flashChannels = 4;
+
+    /** Controller ECC engine units; 0 = one per flash channel. */
+    unsigned eccUnits = 0;
+
+    /** DRAM ports the scheduler can serve concurrently. */
+    unsigned dramPorts = 2;
 
     /** Mean per-request compute time before storage is touched. */
     Seconds computeTime = microseconds(40);
@@ -91,6 +108,10 @@ struct SystemConfig
 struct SystemStats
 {
     std::uint64_t requests = 0;
+
+    /** Event-driven wall clock: virtual time of the scheduler's last
+     *  event (queueing delay, channel overlap and background runoff
+     *  included). */
     Seconds wallClock = 0.0;
 
     RatioStat pdcReads;   ///< PDC hit/miss on reads
@@ -125,6 +146,16 @@ class SystemSimulator
     void run(const Trace& trace);
 
     const SystemStats& stats() const { return stats_; }
+
+    /**
+     * The retired serial approximation, kept for comparison:
+     * max((compute + latency) / clients, per-device busy sums). The
+     * event-driven stats().wallClock is authoritative.
+     */
+    Seconds analyticWallClock() const { return analyticWall_; }
+
+    /** The event scheduler (resource queues + closed loop). */
+    const sched::ClosedLoop& scheduler() const { return *sched_; }
 
     /** Figure 9 power breakdown over the run's wall-clock. */
     PowerReport powerReport() const;
@@ -172,8 +203,13 @@ class SystemSimulator
     const SystemConfig& config() const { return config_; }
 
   private:
-    /** One request; returns its storage + compute latency. */
-    Seconds serve(const TraceRecord& r);
+    /** Run one request through the functional model (cache state
+     *  mutates, device demands land in the sink); returns its
+     *  service-time storage latency and the drawn compute time. */
+    Seconds serve(const TraceRecord& r, Seconds& compute);
+
+    /** Drive the event scheduler over a record source. */
+    void runLoop(const std::function<bool(TraceRecord&)>& next);
 
     /** Handle a read below the PDC. @return fill latency. */
     Seconds readBelow(Lba lba);
@@ -184,7 +220,7 @@ class SystemSimulator
     /** Evict the PDC's LRU page, writing it back if dirty. */
     void evictPdcPage();
 
-    /** Close out a run: compute the closed-loop wall clock. */
+    /** Close out a run: wall clock + retired analytic comparison. */
     void finishRun();
 
     /** Register every layer's metrics into registry_. */
@@ -215,12 +251,17 @@ class SystemSimulator
     std::unique_ptr<BackingStore> diskStore_;
     std::unique_ptr<FlashCache> cache_;
 
+    /** Demand capture shared by every device model below the PDC. */
+    sched::DemandSink sink_;
+    std::unique_ptr<sched::ClosedLoop> sched_;
+
     SystemStats stats_;
     obs::MetricRegistry registry_;
     std::unique_ptr<obs::Tracer> tracer_;
-    /** Busy time the disk accumulated, for wall-clock bounding. */
+    /** Aggregates for the retired analytic wall-clock comparison. */
     Seconds computeTotal_ = 0.0;
     Seconds latencyTotal_ = 0.0;
+    Seconds analyticWall_ = 0.0;
 };
 
 } // namespace flashcache

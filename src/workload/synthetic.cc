@@ -68,10 +68,12 @@ class RankedWorkload : public WorkloadGenerator
             return zipf_->sample(rng);
           case TailShape::Exponential: {
             // Popularity e^(-lambda * rank): rank = Exp(lambda).
+            // Overflowing draws fold back over the whole range; a
+            // clamp would pile the entire tail mass onto the single
+            // coldest rank and break popularity monotonicity.
             const auto rank = static_cast<std::uint64_t>(
                 rng.exponential(cfg_.lambda));
-            return rank >= cfg_.workingSetPages
-                ? cfg_.workingSetPages - 1 : rank;
+            return rank % cfg_.workingSetPages;
           }
         }
         panic("unreachable tail shape");

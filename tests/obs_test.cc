@@ -550,6 +550,41 @@ TEST(SystemObsTest, EndToEndTraceValidates)
     }
 }
 
+TEST(SystemObsTest, DiskLeavesAccountForAllDiskBusyTime)
+{
+#if !FLASHCACHE_TRACING
+    GTEST_SKIP() << "instrumentation compiled out (FLASHCACHE_TRACING=0)";
+#endif
+    // Every disk access — foreground fills and the background PDC
+    // evict/flush write-backs — must emit a "disk"-category leaf, so
+    // the trace totals reconcile against the device's busy counter.
+    SystemConfig cfg;
+    cfg.dramBytes = mib(4);
+    cfg.flashBytes = 0; // disk-backed: all below-PDC traffic is disk
+    cfg.seed = 11;
+    SystemSimulator sim(cfg);
+    sim.enableTracing(1u << 16);
+    SyntheticConfig wl;
+    wl.workingSetPages = 4000;
+    wl.writeFraction = 0.4; // exercise the write-back paths
+    auto gen = makeSynthetic(wl);
+    sim.run(*gen, 3000);
+
+    ASSERT_EQ(sim.tracer()->dropped(), 0u);
+    Seconds disk_leaves = 0.0;
+    std::uint64_t disk_count = 0;
+    for (const TraceEvent& ev : sim.tracer()->events()) {
+        if (std::string(ev.cat) == "disk") {
+            disk_leaves += ev.dur;
+            ++disk_count;
+        }
+    }
+    EXPECT_GT(sim.stats().writebacks, 0u);
+    EXPECT_EQ(disk_count, sim.disk().accesses());
+    EXPECT_NEAR(disk_leaves, sim.disk().busyTime(),
+                1e-9 * sim.disk().busyTime());
+}
+
 } // namespace
 } // namespace obs
 } // namespace flashcache

@@ -1,0 +1,506 @@
+/**
+ * @file
+ * Event-scheduler tests: exact virtual-time ordering on scripted
+ * demand chains, background two-level scheduling, determinism,
+ * queue/utilization invariants under seeded multi-client fuzz, and
+ * the 1-client/1-channel equivalence between the event wall clock
+ * and the retired analytic approximation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "sched/demand.hh"
+#include "sched/scheduler.hh"
+#include "sim/system_sim.hh"
+#include "util/rng.hh"
+#include "workload/macro.hh"
+
+namespace flashcache {
+namespace sched {
+namespace {
+
+using Completion = std::tuple<Seconds, Seconds, Seconds>;
+
+TEST(LogHistogramTest, PercentilesLandInTheRightBucket)
+{
+    LogHistogram h;
+    for (int i = 0; i < 100; ++i)
+        h.record(1e-6);
+    h.record(1e-3);
+    EXPECT_EQ(h.count(), 101u);
+    // Geometric bucket midpoints: ~19% wide, so allow a loose band.
+    EXPECT_GT(h.percentile(50), 0.7e-6);
+    EXPECT_LT(h.percentile(50), 1.4e-6);
+    EXPECT_GT(h.percentile(100), 0.7e-3);
+    EXPECT_LT(h.percentile(100), 1.4e-3);
+    EXPECT_LE(h.percentile(50), h.percentile(95));
+    EXPECT_LE(h.percentile(95), h.percentile(99));
+}
+
+TEST(LogHistogramTest, MergeSumsCounts)
+{
+    LogHistogram a, b;
+    a.record(1e-6);
+    b.record(1e-3);
+    b.record(2e-3);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_GT(a.percentile(99), 1e-4); // tail came from b
+}
+
+TEST(LogHistogramTest, EmptyIsZero)
+{
+    LogHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.percentile(50), 0.0);
+}
+
+TEST(ClosedLoopTest, TwoClientsShareOneDiskExactTimes)
+{
+    SchedConfig cfg;
+    cfg.clients = 2;
+    cfg.flashChannels = 1;
+    cfg.eccUnits = 1;
+    cfg.dramPorts = 1;
+    DemandSink sink;
+    ClosedLoop loop(cfg, sink);
+
+    int issued = 0;
+    const auto source = [&](Seconds& compute) {
+        if (issued >= 2)
+            return false;
+        ++issued;
+        compute = 0.001;
+        sink.record(ResourceKind::Disk, 0, 0.002);
+        return true;
+    };
+    std::vector<Completion> done;
+    loop.run(source, [&](Seconds c, Seconds i, Seconds t) {
+        done.push_back({c, i, t});
+    });
+
+    // Both clients issue at 1 ms; the single disk serves them back to
+    // back: completions at 3 ms and 5 ms, the second one having
+    // queued for 2 ms.
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_DOUBLE_EQ(std::get<0>(done[0]), 0.001);
+    EXPECT_DOUBLE_EQ(std::get<1>(done[0]), 0.001);
+    EXPECT_DOUBLE_EQ(std::get<2>(done[0]), 0.003);
+    EXPECT_DOUBLE_EQ(std::get<2>(done[1]), 0.005);
+    EXPECT_DOUBLE_EQ(loop.wallClock(), 0.005);
+    EXPECT_EQ(loop.requestsCompleted(), 2u);
+    EXPECT_DOUBLE_EQ(loop.busySeconds(Group::Disk), 0.004);
+    EXPECT_DOUBLE_EQ(loop.utilization(Group::Disk), 0.8);
+    EXPECT_EQ(loop.maxQueueDepth(Group::Disk), 1u);
+    EXPECT_EQ(loop.served(Group::Disk), 2u);
+    EXPECT_EQ(loop.backgroundServed(Group::Disk), 0u);
+}
+
+TEST(ClosedLoopTest, OneClientWalksStagesSerially)
+{
+    SchedConfig cfg;
+    cfg.clients = 1;
+    cfg.flashChannels = 2;
+    DemandSink sink;
+    ClosedLoop loop(cfg, sink);
+
+    // Three requests over every resource class; with one client there
+    // is never contention, so the wall clock is the plain serial sum.
+    struct Req
+    {
+        Seconds compute;
+        std::vector<Demand> demands;
+    };
+    const std::vector<Req> script = {
+        {100e-6,
+         {{ResourceKind::FlashChannel, 0, 50e-6, false},
+          {ResourceKind::Ecc, 0, 10e-6, false}}},
+        {200e-6, {{ResourceKind::Disk, 0, 4200e-6, false}}},
+        {50e-6,
+         {{ResourceKind::DramPort, 0, 1e-6, false},
+          {ResourceKind::FlashChannel, 1, 60e-6, false}}},
+    };
+    std::size_t next = 0;
+    const auto source = [&](Seconds& compute) {
+        if (next >= script.size())
+            return false;
+        compute = script[next].compute;
+        for (const Demand& d : script[next].demands)
+            sink.record(d.kind, d.channel, d.service);
+        ++next;
+        return true;
+    };
+    Seconds expected = 0;
+    for (const Req& r : script) {
+        expected += r.compute;
+        for (const Demand& d : r.demands)
+            expected += d.service;
+    }
+    loop.run(source, [](Seconds, Seconds, Seconds) {});
+    EXPECT_DOUBLE_EQ(loop.wallClock(), expected);
+    EXPECT_EQ(loop.requestsCompleted(), 3u);
+    EXPECT_GT(loop.utilization(Group::Disk), 0.0);
+    EXPECT_GT(loop.busySeconds(Group::Flash), 0.0);
+}
+
+TEST(ClosedLoopTest, ComputeOnlyRequestCompletesAtIssue)
+{
+    SchedConfig cfg;
+    cfg.clients = 1;
+    DemandSink sink;
+    ClosedLoop loop(cfg, sink);
+    int issued = 0;
+    const auto source = [&](Seconds& compute) {
+        if (issued >= 2)
+            return false;
+        compute = issued == 0 ? 0.001 : 0.002;
+        ++issued;
+        return true; // PDC hit served above the device models
+    };
+    std::vector<Completion> done;
+    loop.run(source, [&](Seconds c, Seconds i, Seconds t) {
+        done.push_back({c, i, t});
+    });
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_DOUBLE_EQ(std::get<1>(done[0]), std::get<2>(done[0]));
+    EXPECT_DOUBLE_EQ(std::get<2>(done[1]), 0.003);
+    EXPECT_DOUBLE_EQ(loop.wallClock(), 0.003);
+}
+
+TEST(ClosedLoopTest, BackgroundFillsIdleTimeAndExtendsTheWall)
+{
+    SchedConfig cfg;
+    cfg.clients = 1;
+    DemandSink sink;
+    ClosedLoop loop(cfg, sink);
+
+    // Request 1 is compute-only but kicks off a 5 ms background disk
+    // write-back; request 2 needs the disk in the foreground and must
+    // wait behind the non-preemptible background op.
+    int issued = 0;
+    const auto source = [&](Seconds& compute) {
+        if (issued == 0) {
+            compute = 0.001;
+            sink.pushBackground();
+            sink.record(ResourceKind::Disk, 0, 0.005);
+            sink.popBackground();
+        } else if (issued == 1) {
+            compute = 0.001;
+            sink.record(ResourceKind::Disk, 0, 0.001);
+        } else {
+            return false;
+        }
+        ++issued;
+        return true;
+    };
+    std::vector<Completion> done;
+    loop.run(source, [&](Seconds c, Seconds i, Seconds t) {
+        done.push_back({c, i, t});
+    });
+
+    // t=1ms: bg starts (disk idle). Request 2 issues at 2 ms, waits
+    // until 6 ms, served 6..7 ms. The wall includes the bg runoff.
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_DOUBLE_EQ(std::get<2>(done[0]), 0.001);
+    EXPECT_DOUBLE_EQ(std::get<1>(done[1]), 0.002);
+    EXPECT_DOUBLE_EQ(std::get<2>(done[1]), 0.007);
+    EXPECT_DOUBLE_EQ(loop.wallClock(), 0.007);
+    EXPECT_EQ(loop.backgroundServed(Group::Disk), 1u);
+    EXPECT_DOUBLE_EQ(loop.busySeconds(Group::Disk), 0.006);
+}
+
+TEST(ClosedLoopTest, FreedServerPrefersForegroundOverQueuedBackground)
+{
+    SchedConfig cfg;
+    cfg.clients = 1;
+    DemandSink sink;
+    ClosedLoop loop(cfg, sink);
+
+    // One request records two 5 ms background ops and a 2 ms
+    // foreground stage. The first bg op reaches the idle disk first
+    // (same timestamp, earlier submission); when it finishes at 6 ms
+    // the foreground stage must be taken before the second bg op.
+    int issued = 0;
+    const auto source = [&](Seconds& compute) {
+        if (issued >= 1)
+            return false;
+        ++issued;
+        compute = 0.001;
+        sink.pushBackground();
+        sink.record(ResourceKind::Disk, 0, 0.005);
+        sink.popBackground();
+        sink.record(ResourceKind::Disk, 0, 0.002);
+        sink.pushBackground();
+        sink.record(ResourceKind::Disk, 0, 0.005);
+        sink.popBackground();
+        return true;
+    };
+    std::vector<Completion> done;
+    loop.run(source, [&](Seconds c, Seconds i, Seconds t) {
+        done.push_back({c, i, t});
+    });
+
+    // fg: arrives 1 ms, waits for bg#1 (1..6 ms), served 6..8 ms.
+    // bg#2: queued since 1 ms, only starts after the fg at 8..13 ms.
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_DOUBLE_EQ(std::get<2>(done[0]), 0.008);
+    EXPECT_DOUBLE_EQ(loop.wallClock(), 0.013);
+    EXPECT_EQ(loop.backgroundServed(Group::Disk), 2u);
+    EXPECT_EQ(loop.served(Group::Disk), 3u);
+    EXPECT_EQ(loop.maxQueueDepth(Group::Disk), 2u);
+}
+
+TEST(ClosedLoopTest, ScriptedChannelScaling)
+{
+    // 400 flash ops of 100 us round-robined over 4 channel indices:
+    // one channel serializes them, four channels overlap them.
+    const auto runWith = [](std::uint32_t channels) {
+        SchedConfig cfg;
+        cfg.clients = 8;
+        cfg.flashChannels = channels;
+        DemandSink sink;
+        ClosedLoop loop(cfg, sink);
+        int issued = 0;
+        const auto source = [&](Seconds& compute) {
+            if (issued >= 400)
+                return false;
+            compute = 0;
+            sink.record(ResourceKind::FlashChannel,
+                        static_cast<std::uint16_t>(issued % 4), 100e-6);
+            ++issued;
+            return true;
+        };
+        loop.run(source, [](Seconds, Seconds, Seconds) {});
+        return loop.wallClock();
+    };
+    const Seconds wall1 = runWith(1);
+    const Seconds wall4 = runWith(4);
+    EXPECT_NEAR(wall1, 400 * 100e-6, 1e-9); // fully serialized
+    EXPECT_GE(wall4, 100 * 100e-6 - 1e-9);  // 100 ops per channel
+    EXPECT_GE(wall1 / wall4, 3.0);
+}
+
+/** Seeded random closed-loop run; returns a full result fingerprint. */
+struct FuzzResult
+{
+    Seconds wall = 0;
+    std::vector<Completion> completions;
+    Seconds busy[4] = {0, 0, 0, 0};
+    std::uint64_t served[4] = {0, 0, 0, 0};
+
+    bool
+    operator==(const FuzzResult& o) const
+    {
+        if (wall != o.wall || completions != o.completions)
+            return false;
+        for (int g = 0; g < 4; ++g) {
+            if (busy[g] != o.busy[g] || served[g] != o.served[g])
+                return false;
+        }
+        return true;
+    }
+};
+
+FuzzResult
+fuzzRun(std::uint64_t seed, std::uint64_t requests)
+{
+    SchedConfig cfg;
+    cfg.clients = 5;
+    cfg.flashChannels = 3;
+    cfg.eccUnits = 2;
+    cfg.dramPorts = 2;
+    DemandSink sink;
+    ClosedLoop loop(cfg, sink);
+    Rng rng(seed);
+    std::uint64_t issued = 0;
+    std::uint64_t demands = 0;
+    const auto source = [&](Seconds& compute) {
+        if (issued >= requests)
+            return false;
+        ++issued;
+        compute = rng.uniform(0.0, 100e-6);
+        const std::uint64_t n = rng.uniformInt(5);
+        for (std::uint64_t d = 0; d < n; ++d) {
+            const bool bg = rng.bernoulli(0.3);
+            if (bg)
+                sink.pushBackground();
+            const auto kind =
+                static_cast<ResourceKind>(rng.uniformInt(4));
+            sink.record(kind,
+                        static_cast<std::uint16_t>(rng.uniformInt(8)),
+                        rng.uniform(1e-6, 200e-6));
+            if (bg)
+                sink.popBackground();
+            ++demands;
+        }
+        return true;
+    };
+    FuzzResult res;
+    loop.run(source, [&](Seconds c, Seconds i, Seconds t) {
+        res.completions.push_back({c, i, t});
+    });
+    res.wall = loop.wallClock();
+    const Group groups[4] = {Group::Flash, Group::Disk, Group::Ecc,
+                             Group::Dram};
+    for (int g = 0; g < 4; ++g) {
+        res.busy[g] = loop.busySeconds(groups[g]);
+        res.served[g] = loop.served(groups[g]);
+    }
+    (void)demands;
+    return res;
+}
+
+TEST(ClosedLoopTest, SeededFuzzIsBitDeterministic)
+{
+    for (std::uint64_t seed : {1ull, 42ull, 977ull}) {
+        const FuzzResult a = fuzzRun(seed, 300);
+        const FuzzResult b = fuzzRun(seed, 300);
+        EXPECT_TRUE(a == b) << "seed " << seed;
+        EXPECT_EQ(a.completions.size(), 300u);
+    }
+}
+
+TEST(ClosedLoopTest, FuzzInvariantsHold)
+{
+    SchedConfig cfg;
+    cfg.clients = 5;
+    cfg.flashChannels = 3;
+    cfg.eccUnits = 2;
+    cfg.dramPorts = 2;
+    DemandSink sink;
+    ClosedLoop loop(cfg, sink);
+    Rng rng(2026);
+    std::uint64_t issued = 0;
+    std::uint64_t byGroup[4] = {0, 0, 0, 0};
+    const auto source = [&](Seconds& compute) {
+        if (issued >= 1000)
+            return false;
+        ++issued;
+        compute = rng.uniform(0.0, 50e-6);
+        const std::uint64_t n = rng.uniformInt(4);
+        for (std::uint64_t d = 0; d < n; ++d) {
+            const bool bg = rng.bernoulli(0.25);
+            if (bg)
+                sink.pushBackground();
+            const std::uint64_t kind = rng.uniformInt(4);
+            sink.record(static_cast<ResourceKind>(kind),
+                        static_cast<std::uint16_t>(rng.uniformInt(6)),
+                        rng.uniform(1e-6, 300e-6));
+            if (bg)
+                sink.popBackground();
+            ++byGroup[kind];
+        }
+        return true;
+    };
+    Seconds last_completion = 0;
+    loop.run(source, [&](Seconds, Seconds issue, Seconds t) {
+        EXPECT_GE(t, issue);
+        last_completion = std::max(last_completion, t);
+    });
+
+    EXPECT_EQ(loop.requestsCompleted(), 1000u);
+    EXPECT_GE(loop.wallClock(), last_completion);
+    const struct
+    {
+        Group g;
+        std::uint64_t servers;
+    } groups[4] = {{Group::Flash, 3},
+                   {Group::Disk, 1},
+                   {Group::Ecc, 2},
+                   {Group::Dram, 2}};
+    for (int g = 0; g < 4; ++g) {
+        // Every submitted demand was served exactly once.
+        EXPECT_EQ(loop.served(groups[g].g), byGroup[g]);
+        // No server group can exceed full utilization, and the wall
+        // clock must cover each group's per-server busy share.
+        EXPECT_LE(loop.utilization(groups[g].g), 1.0 + 1e-9);
+        EXPECT_GE(loop.wallClock() + 1e-9,
+                  loop.busySeconds(groups[g].g) /
+                      static_cast<double>(groups[g].servers));
+        // Percentiles are monotone.
+        const double p50 = loop.sojournPercentile(groups[g].g, 50);
+        const double p95 = loop.sojournPercentile(groups[g].g, 95);
+        const double p99 = loop.sojournPercentile(groups[g].g, 99);
+        EXPECT_LE(p50, p95 + 1e-12);
+        EXPECT_LE(p95, p99 + 1e-12);
+    }
+}
+
+TEST(SystemSchedTest, OneClientOneChannelMatchesAnalyticWall)
+{
+    // With one client and every resource serialized, the event engine
+    // degenerates to the retired analytic model: compute + latency
+    // sums with no overlap. The Figure 9 macro workload must agree
+    // within 5% (it agrees exactly; the band allows for model drift).
+    SystemConfig cfg;
+    cfg.dramBytes = mib(32);
+    cfg.flashBytes = mib(64);
+    cfg.computeTime = milliseconds(1.5);
+    cfg.clients = 1;
+    cfg.flashChannels = 1;
+    cfg.eccUnits = 1;
+    cfg.dramPorts = 1;
+    cfg.seed = 13;
+    SystemSimulator sim(cfg);
+    auto gen = makeMacro(macroConfig("dbt2", 0.05));
+    sim.run(*gen, 20000);
+    ASSERT_GT(sim.analyticWallClock(), 0.0);
+    const double ratio =
+        sim.stats().wallClock / sim.analyticWallClock();
+    EXPECT_GT(ratio, 0.95);
+    EXPECT_LT(ratio, 1.05);
+}
+
+TEST(SystemSchedTest, MoreClientsOverlapTheWall)
+{
+    const auto wallWith = [](unsigned clients) {
+        SystemConfig cfg;
+        cfg.dramBytes = mib(16);
+        cfg.flashBytes = mib(32);
+        cfg.computeTime = milliseconds(4.0);
+        cfg.clients = clients;
+        cfg.seed = 5;
+        SystemSimulator sim(cfg);
+        auto gen = makeMacro(macroConfig("dbt2", 0.02));
+        sim.run(*gen, 20000);
+        return sim.stats().wallClock;
+    };
+    // Compute dominates this configuration, so doubling the client
+    // count should nearly halve the wall clock.
+    const Seconds w4 = wallWith(4);
+    const Seconds w8 = wallWith(8);
+    EXPECT_LT(w8, w4);
+    EXPECT_GT(w4 / w8, 1.5);
+}
+
+TEST(SystemSchedTest, SchedMetricsAppearInStatsJson)
+{
+    SystemConfig cfg;
+    cfg.dramBytes = mib(16);
+    cfg.flashBytes = mib(32);
+    cfg.seed = 3;
+    SystemSimulator sim(cfg);
+    auto gen = makeMacro(macroConfig("dbt2", 0.02));
+    sim.run(*gen, 5000);
+    std::ostringstream os;
+    sim.writeStatsJson(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"sched.clients\""), std::string::npos);
+    EXPECT_NE(json.find("\"sched.flash.sojourn_p99\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"sched.disk.utilization\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"system.analytic_wall_clock\""),
+              std::string::npos);
+    EXPECT_GT(sim.stats().wallClock, 0.0);
+}
+
+} // namespace
+} // namespace sched
+} // namespace flashcache

@@ -118,6 +118,35 @@ TEST(SyntheticTest, TailShapesOrdered)
     EXPECT_GT(exp2, 0.95); // extreme short tail: rank ~ Exp(0.1)
 }
 
+TEST(SyntheticTest, ExponentialTailFoldsIntoMonotoneRankHistogram)
+{
+    // Exp(0.1) over only 16 ranks overflows the range ~20% of the
+    // time. Folding keeps the popularity histogram monotone in rank;
+    // the old clamp piled the entire overflow mass onto the coldest
+    // rank, making the edge page the hottest by far.
+    SyntheticConfig cfg;
+    cfg.name = "exp-fold";
+    cfg.shape = TailShape::Exponential;
+    cfg.lambda = 0.1;
+    cfg.workingSetPages = 16;
+    cfg.writeFraction = 0.0; // reads only: lba == sampled rank
+    auto gen = makeSynthetic(cfg);
+    Rng rng(7);
+    std::vector<std::uint64_t> count(16, 0);
+    constexpr int kDraws = 200000;
+    for (int i = 0; i < kDraws; ++i) {
+        const TraceRecord r = gen->next(rng);
+        ASSERT_LT(r.lba, 16u);
+        ++count[r.lba];
+    }
+    // Monotone decreasing rank popularity, with slack for sampling
+    // noise (the expected step ratio is e^-0.1 ~ 0.905 per rank).
+    for (int i = 0; i + 1 < 16; ++i)
+        EXPECT_GE(count[i] * 105 / 100, count[i + 1]) << "rank " << i;
+    // The edge bin must stay the coldest end, not a clamp spike.
+    EXPECT_LT(count[15], count[0]);
+}
+
 TEST(MacroTest, CatalogMatchesTable4)
 {
     const auto configs = table4MacroConfigs();
